@@ -1,0 +1,133 @@
+// Command cornet-bench regenerates every table and figure of the paper's
+// evaluation and operational-experience sections from this repository's
+// implementations and synthetic substrates.
+//
+// Usage:
+//
+//	cornet-bench -list             # enumerate experiments
+//	cornet-bench -exp table1       # run one experiment
+//	cornet-bench -exp all          # run everything (several minutes)
+//	cornet-bench -exp eval-planner -quick   # reduced parameter sweeps
+//
+// Each experiment prints the paper's reported values next to the measured
+// ones; EXPERIMENTS.md records a captured run with commentary on where the
+// shapes match and why absolute numbers differ.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// experiment is one reproducible table or figure.
+type experiment struct {
+	id    string
+	about string
+	run   func(quick bool) error
+}
+
+var experiments []experiment
+
+func register(id, about string, run func(quick bool) error) {
+	experiments = append(experiments, experiment{id, about, run})
+}
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (or 'all')")
+		list  = flag.Bool("list", false, "list experiments")
+		quick = flag.Bool("quick", false, "reduced sweeps for fast runs")
+	)
+	flag.Parse()
+	sort.Slice(experiments, func(i, j int) bool { return experiments[i].id < experiments[j].id })
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments {
+			fmt.Printf("  %-16s %s\n", e.id, e.about)
+		}
+		if *exp == "" {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+	var toRun []experiment
+	if *exp == "all" {
+		toRun = experiments
+	} else {
+		for _, e := range experiments {
+			if e.id == *exp {
+				toRun = append(toRun, e)
+			}
+		}
+		if len(toRun) == 0 {
+			fmt.Fprintf(os.Stderr, "cornet-bench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+	}
+	for _, e := range toRun {
+		fmt.Printf("\n================ %s — %s ================\n", e.id, e.about)
+		start := time.Now()
+		if err := e.run(*quick); err != nil {
+			fmt.Fprintf(os.Stderr, "cornet-bench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("---------------- %s done in %v ----------------\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// bar renders a crude horizontal bar for ASCII figures.
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac * float64(width))
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// spark renders a curve as one character-row sparkline.
+func spark(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	levels := []rune(" .:-=+*#%@")
+	min, max := values[0], values[0]
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	span := max - min
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = int((v - min) / span * float64(len(levels)-1))
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+// downsample reduces a series to at most n points for display.
+func downsample(xs []float64, n int) []float64 {
+	if len(xs) <= n {
+		return xs
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = xs[i*len(xs)/n]
+	}
+	out[n-1] = xs[len(xs)-1]
+	return out
+}

@@ -1,0 +1,138 @@
+// Command cornet-plan discovers a change deployment schedule from a
+// high-level intent document (Listing 1 format).
+//
+// Usage:
+//
+//	cornet-plan -intent intent.json [-inventory ran|vpn|sdwan] [-size N]
+//	            [-render] [-force solver|heuristic] [-seed N]
+//
+// The inventory is generated synthetically (this repository's substitute
+// for the production inventory databases); -size controls the element
+// count. The discovered schedule is printed per timeslot, with leftovers
+// and the rendered constraint model on request.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cornet/internal/catalog"
+	"cornet/internal/core"
+	"cornet/internal/inventory"
+	"cornet/internal/netgen"
+	"cornet/internal/plan/solver"
+)
+
+func main() {
+	var (
+		intentPath = flag.String("intent", "", "path to the intent JSON (required)")
+		invKind    = flag.String("inventory", "ran", "synthetic inventory: ran | vpn | sdwan")
+		size       = flag.Int("size", 400, "approximate inventory size")
+		render     = flag.Bool("render", false, "print the generated constraint model")
+		force      = flag.String("force", "", "force engine: solver | heuristic")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		maxShow    = flag.Int("show", 8, "max elements to list per timeslot")
+	)
+	flag.Parse()
+	if *intentPath == "" {
+		fmt.Fprintln(os.Stderr, "cornet-plan: -intent is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	doc, err := os.ReadFile(*intentPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	net, err := buildNetwork(*invKind, *size, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	// Plan over the edge elements (base stations / CEs / vGWs), not the
+	// transport and core substrate.
+	targets := net.Inv.Filter(func(e *inventory.Element) bool {
+		layer, _ := e.Attr(inventory.AttrLayer)
+		return layer == "edge"
+	})
+	sub := net.Inv.Subset(targets)
+	fmt.Printf("inventory: %s, %d schedulable elements (of %d total)\n",
+		*invKind, sub.Len(), net.Inv.Len())
+
+	f := core.New(map[string]catalog.ImplKind{},
+		core.WithSolverOptions(solver.Options{FirstSolutionOnly: sub.Len() > 200}))
+	opt := core.PlanOptions{
+		Topology:    net.Topo,
+		RenderModel: *render,
+		Seed:        *seed,
+	}
+	switch *force {
+	case "solver":
+		opt.ForceSolver = true
+	case "heuristic":
+		opt.ForceHeuristic = true
+	case "":
+	default:
+		fatal(fmt.Errorf("unknown -force value %q", *force))
+	}
+
+	res, err := f.PlanSchedule(doc, sub, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("method=%s discovery=%v makespan=%d conflicts=%d scheduled=%d leftovers=%d\n",
+		res.Method, res.Discovery, res.Makespan, res.Conflicts,
+		len(res.Assignment), len(res.Leftovers))
+
+	bySlot := map[int][]string{}
+	for id, slot := range res.Assignment {
+		bySlot[slot] = append(bySlot[slot], id)
+	}
+	slots := make([]int, 0, len(bySlot))
+	for s := range bySlot {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	for _, s := range slots {
+		ids := bySlot[s]
+		sort.Strings(ids)
+		when := ""
+		if s < len(res.Slots) {
+			when = res.Slots[s].Start.Format("2006-01-02")
+		}
+		shown := ids
+		suffix := ""
+		if len(ids) > *maxShow {
+			shown = ids[:*maxShow]
+			suffix = fmt.Sprintf(" ... (+%d)", len(ids)-*maxShow)
+		}
+		fmt.Printf("  window %2d %s: %d nodes: %v%s\n", s, when, len(ids), shown, suffix)
+	}
+	if len(res.Leftovers) > 0 {
+		fmt.Printf("  leftovers (%d): resubmit in the next scheduling window\n", len(res.Leftovers))
+	}
+	if *render {
+		fmt.Println("\n--- generated constraint model ---")
+		fmt.Println(res.ModelText)
+	}
+}
+
+func buildNetwork(kind string, size int, seed int64) (*netgen.Network, error) {
+	switch kind {
+	case "ran":
+		return netgen.Cellular(netgen.DefaultCellular(size, seed))
+	case "vpn":
+		return netgen.VPN(netgen.VPNConfig{Seed: seed, Sites: size, VirtualFraction: 0.5})
+	case "sdwan":
+		zones := size/10 + 1
+		return netgen.SDWAN(netgen.SDWANConfig{Seed: seed, CloudZones: zones, GatewaysPerZone: 4, CPEs: size})
+	default:
+		return nil, fmt.Errorf("unknown inventory kind %q", kind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cornet-plan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,217 @@
+// Command cornetd serves CORNET over REST: the building-block endpoints of
+// a simulated testbed (POST /api/bb/<block>), the catalog (GET
+// /api/catalog), workflow deployment (POST /api/wf/deploy), workflow
+// execution (POST /api/wf/execute), and schedule planning (POST /api/plan).
+//
+// It is the binary face of the framework — the same role the paper's
+// CORNET deployment plays for the operations teams' user interfaces.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+
+	"cornet/internal/catalog"
+	"cornet/internal/core"
+	"cornet/internal/inventory"
+	"cornet/internal/netgen"
+	"cornet/internal/testbed"
+	"cornet/internal/workflow"
+)
+
+type server struct {
+	f   *core.Framework
+	tb  *testbed.Testbed
+	net *netgen.Network
+
+	mu          sync.RWMutex
+	deployments map[string]*workflow.Deployment
+}
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		vnfs = flag.Int("vnfs", 4, "testbed instances per vNF type")
+		seed = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	tb := testbed.New(*seed)
+	ids := testbed.PopulateVNFs(tb, *vnfs)
+	net, err := netgen.Cellular(netgen.DefaultCellular(200, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := core.New(map[string]catalog.ImplKind{
+		"vCE": catalog.ImplScript, "vGW": catalog.ImplAnsible, "portal": catalog.ImplAnsible,
+		"CPE": catalog.ImplAnsible, "vCOM": catalog.ImplAnsible, "vRAR": catalog.ImplAnsible,
+		"eNodeB": catalog.ImplVendorCLI, "gNodeB": catalog.ImplVendorCLI,
+	}, core.WithInvoker(tb))
+
+	s := &server{f: f, tb: tb, net: net, deployments: map[string]*workflow.Deployment{}}
+	mux := http.NewServeMux()
+	// Building blocks execute directly against the testbed.
+	mux.Handle("/api/bb/", tb.Handler())
+	mux.Handle("/healthz", tb.Handler())
+	mux.HandleFunc("/api/catalog", s.handleCatalog)
+	mux.HandleFunc("/api/wf/deploy", s.handleDeploy)
+	mux.HandleFunc("/api/wf/execute", s.handleExecute)
+	mux.HandleFunc("/api/plan", s.handlePlan)
+
+	log.Printf("cornetd: %d building blocks, %d testbed vNFs (%v...), %d inventory elements",
+		f.Catalog.Len(), tb.Len(), ids[:2], net.Inv.Len())
+	log.Printf("cornetd: listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func (s *server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.f.Catalog.List())
+}
+
+// handleDeploy accepts {"workflow": "<library name>" | {...design...},
+// "nf_type": "vCE"} and returns the deployment artifact.
+func (s *server) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Workflow json.RawMessage `json:"workflow"`
+		NFType   string          `json:"nf_type"`
+	}
+	if err := decode(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	wf, err := resolveWorkflow(req.Workflow)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	dep, err := s.f.DeployWorkflow(wf, req.NFType)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.mu.Lock()
+	s.deployments[dep.API] = dep
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, dep)
+}
+
+func resolveWorkflow(raw json.RawMessage) (*workflow.Workflow, error) {
+	var name string
+	if err := json.Unmarshal(raw, &name); err == nil {
+		switch name {
+		case "software-upgrade":
+			return workflow.SoftwareUpgrade(), nil
+		case "config-change":
+			return workflow.ConfigChange(), nil
+		case "download-install":
+			return workflow.DownloadInstall(), nil
+		case "activate-verify":
+			return workflow.ActivateVerify(), nil
+		default:
+			return nil, fmt.Errorf("unknown library workflow %q", name)
+		}
+	}
+	var wf workflow.Workflow
+	if err := json.Unmarshal(raw, &wf); err != nil {
+		return nil, fmt.Errorf("decode workflow: %w", err)
+	}
+	return &wf, nil
+}
+
+// handleExecute accepts {"api": "<deployment api>", "inputs": {...}}.
+func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		API    string            `json:"api"`
+		Inputs map[string]string `json:"inputs"`
+	}
+	if err := decode(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.RLock()
+	dep := s.deployments[req.API]
+	s.mu.RUnlock()
+	if dep == nil {
+		http.Error(w, "unknown deployment API (deploy first)", http.StatusNotFound)
+		return
+	}
+	exec, err := s.f.Execute(r.Context(), dep, req.Inputs)
+	type blockLog struct {
+		Node, Block, Status, Err string
+		DurationNS               int64
+	}
+	resp := struct {
+		Status string     `json:"status"`
+		Error  string     `json:"error,omitempty"`
+		Logs   []blockLog `json:"logs"`
+	}{Status: string(exec.Status)}
+	if err != nil {
+		resp.Error = err.Error()
+	}
+	for _, l := range exec.Logs {
+		resp.Logs = append(resp.Logs, blockLog{
+			Node: l.NodeID, Block: l.Block, Status: string(l.Status),
+			Err: l.Err, DurationNS: int64(l.Duration),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePlan accepts the Listing 1 intent document and plans over the
+// server's synthetic RAN inventory.
+func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	doc, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	targets := s.net.Inv.Filter(func(e *inventory.Element) bool {
+		layer, _ := e.Attr(inventory.AttrLayer)
+		return layer == "edge"
+	})
+	res, err := s.f.PlanSchedule(doc, s.net.Inv.Subset(targets), core.PlanOptions{
+		Topology: s.net.Topo,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Method     string         `json:"method"`
+		Makespan   int            `json:"makespan"`
+		Conflicts  int            `json:"conflicts"`
+		Assignment map[string]int `json:"assignment"`
+		Leftovers  []string       `json:"leftovers,omitempty"`
+	}{res.Method, res.Makespan, res.Conflicts, res.Assignment, res.Leftovers})
+}
+
+func decode(r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

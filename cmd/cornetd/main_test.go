@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cornet/internal/catalog"
+	"cornet/internal/core"
+	"cornet/internal/inventory"
+	"cornet/internal/netgen"
+	"cornet/internal/testbed"
+	"cornet/internal/workflow"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	tb := testbed.New(1)
+	testbed.PopulateVNFs(tb, 2)
+	net, err := netgen.Cellular(netgen.DefaultCellular(120, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := core.New(map[string]catalog.ImplKind{
+		"vCE": catalog.ImplScript, "vGW": catalog.ImplAnsible, "portal": catalog.ImplAnsible,
+		"CPE": catalog.ImplAnsible, "vCOM": catalog.ImplAnsible, "vRAR": catalog.ImplAnsible,
+	}, core.WithInvoker(tb))
+	s := &server{f: f, tb: tb, net: net, deployments: map[string]*workflow.Deployment{}}
+	mux := http.NewServeMux()
+	mux.Handle("/api/bb/", tb.Handler())
+	mux.HandleFunc("/api/catalog", s.handleCatalog)
+	mux.HandleFunc("/api/wf/deploy", s.handleDeploy)
+	mux.HandleFunc("/api/wf/execute", s.handleExecute)
+	mux.HandleFunc("/api/plan", s.handlePlan)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestCatalogEndpoint(t *testing.T) {
+	_, srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/api/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var blocks []catalog.BuildingBlock
+	if err := json.NewDecoder(resp.Body).Decode(&blocks); err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) < 17 {
+		t.Fatalf("catalog size = %d", len(blocks))
+	}
+}
+
+func TestDeployAndExecuteOverHTTP(t *testing.T) {
+	_, srv := testServer(t)
+
+	// Deploy the library software-upgrade workflow for vCE.
+	resp := postJSON(t, srv.URL+"/api/wf/deploy", map[string]any{
+		"workflow": "software-upgrade", "nf_type": "vCE",
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy status = %s", resp.Status)
+	}
+	var dep workflow.Deployment
+	if err := json.NewDecoder(resp.Body).Decode(&dep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(dep.API, "/api/wf/software-upgrade/vCE/") {
+		t.Fatalf("API = %s", dep.API)
+	}
+
+	// Execute it against a testbed vCE.
+	resp2 := postJSON(t, srv.URL+"/api/wf/execute", map[string]any{
+		"api": dep.API,
+		"inputs": map[string]string{
+			"instance": "vce-000", "sw_version": "v7", "prior_version": "v1",
+		},
+	})
+	defer resp2.Body.Close()
+	var exec struct {
+		Status string
+		Logs   []struct{ Block, Status string }
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&exec); err != nil {
+		t.Fatal(err)
+	}
+	if exec.Status != "success" || len(exec.Logs) != 3 {
+		t.Fatalf("exec = %+v", exec)
+	}
+
+	// Unknown deployment is a 404.
+	resp3 := postJSON(t, srv.URL+"/api/wf/execute", map[string]any{"api": "/ghost"})
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost execute status = %s", resp3.Status)
+	}
+}
+
+func TestDeployCustomWorkflowJSON(t *testing.T) {
+	_, srv := testServer(t)
+	// A custom design submitted as raw JSON (the designer UI path).
+	custom := workflow.DownloadInstall()
+	resp := postJSON(t, srv.URL+"/api/wf/deploy", map[string]any{
+		"workflow": custom, "nf_type": "vGW",
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("custom deploy status = %s", resp.Status)
+	}
+	// A broken design is rejected with 422.
+	broken := workflow.New("broken")
+	broken.AddNode(workflow.Node{ID: "start", Kind: workflow.Start})
+	resp2 := postJSON(t, srv.URL+"/api/wf/deploy", map[string]any{
+		"workflow": broken, "nf_type": "vGW",
+	})
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("broken deploy status = %s", resp2.Status)
+	}
+	// An unknown library name is a 400.
+	resp3 := postJSON(t, srv.URL+"/api/wf/deploy", map[string]any{
+		"workflow": "mystery-workflow", "nf_type": "vGW",
+	})
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown library status = %s", resp3.Status)
+	}
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	s, srv := testServer(t)
+	edge := s.net.Inv.Filter(func(e *inventory.Element) bool {
+		layer, _ := e.Attr(inventory.AttrLayer)
+		return layer == "edge"
+	})
+	doc := `{
+	  "scheduling_window": {"start": "2022-03-01 00:00:00", "end": "2022-03-15 00:00:00",
+	    "granularity": {"metric":"day","value":1}},
+	  "schedulable_attribute": "common_id",
+	  "constraints": [
+	    {"name": "concurrency", "base_attribute": "common_id", "default_capacity": 30}
+	  ]
+	}`
+	resp, err := http.Post(srv.URL+"/api/plan", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan status = %s", resp.Status)
+	}
+	var out struct {
+		Method     string
+		Makespan   int
+		Assignment map[string]int
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Method != "solver" || len(out.Assignment) != len(edge) {
+		t.Fatalf("plan = method %s, %d assigned (want %d)", out.Method, len(out.Assignment), len(edge))
+	}
+	// Bad intent is a 422.
+	resp2, err := http.Post(srv.URL+"/api/plan", "application/json", strings.NewReader(`{"nope": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad plan status = %s", resp2.Status)
+	}
+}
+
+func TestMethodGuards(t *testing.T) {
+	_, srv := testServer(t)
+	for _, path := range []string{"/api/wf/deploy", "/api/wf/execute", "/api/plan"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s = %s", path, resp.Status)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module cornet
+
+go 1.22

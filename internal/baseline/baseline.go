@@ -1,0 +1,154 @@
+// Package baseline models the "custom solution" CORNET is evaluated
+// against in Section 4: per-network-function, per-composition module
+// counting for the code re-use results (Table 3), and the pre-CORNET
+// manual batch scheduling process (Fig. 5, §5.2).
+//
+// Without CORNET, every building block is implemented once per network
+// function type (and, where compositions multiply implementations, once
+// per composition), and every workflow once per NF type and composition.
+// With CORNET, NF-agnostic blocks and workflows are implemented once.
+package baseline
+
+import (
+	"fmt"
+
+	"cornet/internal/catalog"
+	"cornet/internal/workflow"
+)
+
+// Scenario describes one code-reuse comparison.
+type Scenario struct {
+	// Name labels the row ("designer-orchestrator", ...).
+	Name string
+	// Workflow is the NF-agnostic CORNET workflow under comparison; its
+	// building blocks drive the counting.
+	Workflow *workflow.Workflow
+	// NFTypes are the network function types to support.
+	NFTypes []string
+	// Compositions is the number of distinct workflow-level compositions
+	// (constraint combinations for the planner, rule compositions for the
+	// verifier; 1 for a plain change workflow).
+	Compositions int
+	// CustomBBPerComposition marks scenarios where a custom solution must
+	// reimplement the building blocks per composition too (the verifier
+	// evaluation of §4.3), not just per NF type.
+	CustomBBPerComposition bool
+}
+
+// ReuseReport is one Table 3 row with the §4 module breakdowns.
+type ReuseReport struct {
+	Name string
+	// Custom-solution module counts.
+	CustomBBs, CustomWFs, CustomTotal int
+	// CORNET module counts.
+	CornetAgnosticBBs, CornetSpecificBBs, CornetWFs, CornetTotal int
+	// Reuse is 1 - cornet/custom (the paper's code re-use percentage).
+	Reuse float64
+}
+
+// Reuse computes the module counts for a scenario against a catalog: the
+// catalog's NF-agnostic flags determine which blocks CORNET implements
+// once versus per NF type.
+func Reuse(cat *catalog.Catalog, s Scenario) (ReuseReport, error) {
+	if s.Workflow == nil || len(s.NFTypes) == 0 {
+		return ReuseReport{}, fmt.Errorf("baseline: scenario needs a workflow and NF types")
+	}
+	comps := s.Compositions
+	if comps <= 0 {
+		comps = 1
+	}
+	blocks := s.Workflow.Blocks()
+	if len(blocks) == 0 {
+		return ReuseReport{}, fmt.Errorf("baseline: workflow %q uses no building blocks", s.Workflow.Name)
+	}
+	rep := ReuseReport{Name: s.Name}
+	for _, b := range blocks {
+		bb, err := cat.Lookup(b, s.NFTypes[0])
+		if err != nil {
+			return ReuseReport{}, fmt.Errorf("baseline: %w", err)
+		}
+		if bb.NFAgnostic {
+			rep.CornetAgnosticBBs++
+		} else {
+			rep.CornetSpecificBBs += len(s.NFTypes)
+		}
+	}
+	bbCompFactor := 1
+	if s.CustomBBPerComposition {
+		bbCompFactor = comps
+	}
+	rep.CustomBBs = len(blocks) * len(s.NFTypes) * bbCompFactor
+	rep.CustomWFs = len(s.NFTypes) * comps
+	rep.CustomTotal = rep.CustomBBs + rep.CustomWFs
+	rep.CornetWFs = 1 // one NF-agnostic workflow supports all compositions
+	rep.CornetTotal = rep.CornetAgnosticBBs + rep.CornetSpecificBBs + rep.CornetWFs
+	rep.Reuse = 1 - float64(rep.CornetTotal)/float64(rep.CustomTotal)
+	return rep, nil
+}
+
+// EvalNFTypes are the six vNFs of the §4.1 testbed evaluation.
+func EvalNFTypes() []string {
+	return []string{"vCE", "vGW", "portal", "CPE", "vCOM", "vRAR"}
+}
+
+// DesignerScenario reproduces §4.1: the Fig. 4 software-upgrade flow
+// trimmed to the three evaluated blocks (health check, software upgrade,
+// pre/post comparison) across the six testbed vNFs.
+func DesignerScenario() Scenario {
+	w := workflow.New("upgrade-eval")
+	w.AddInput("instance", true, "")
+	w.AddInput("sw_version", true, "")
+	w.AddNode(workflow.Node{ID: "start", Kind: workflow.Start}).
+		AddNode(workflow.Node{ID: "health", Kind: workflow.Task, Block: catalog.BBHealthCheck,
+			Saves: map[string]string{"status": "health_status"}}).
+		AddNode(workflow.Node{ID: "upgrade", Kind: workflow.Task, Block: catalog.BBSoftwareUpg,
+			Saves: map[string]string{"status": "upgrade_status"}}).
+		AddNode(workflow.Node{ID: "compare", Kind: workflow.Task, Block: catalog.BBPrePostCompare,
+			Saves: map[string]string{"verdict": "verdict"}}).
+		AddNode(workflow.Node{ID: "end", Kind: workflow.End})
+	w.AddEdge("start", "health", "").AddEdge("health", "upgrade", "").
+		AddEdge("upgrade", "compare", "").AddEdge("compare", "end", "")
+	return Scenario{
+		Name: "designer-orchestrator", Workflow: w,
+		NFTypes: EvalNFTypes(), Compositions: 1,
+	}
+}
+
+// PlannerScenario reproduces §4.2: the five planning blocks across six
+// network function types (two RAN, two transport, two core) and the 16
+// constraint compositions (2^3 template combinations x 2 conflict
+// tolerances).
+func PlannerScenario() Scenario {
+	return Scenario{
+		Name:         "schedule-planner",
+		Workflow:     workflow.SchedulePlanning(),
+		NFTypes:      []string{"eNodeB", "gNodeB", "switchA", "switchB", "coreA", "coreB"},
+		Compositions: 16,
+	}
+}
+
+// VerifierScenario reproduces §4.3: the six verification blocks across
+// three network function types and three attribute/rule compositions,
+// where a custom solution reimplements blocks per composition.
+func VerifierScenario() Scenario {
+	return Scenario{
+		Name:                   "impact-verifier",
+		Workflow:               workflow.ImpactVerification(),
+		NFTypes:                []string{"eNodeB", "gNodeB", "switch"},
+		Compositions:           3,
+		CustomBBPerComposition: true,
+	}
+}
+
+// Table3 computes the full code re-use summary over a seeded catalog.
+func Table3(cat *catalog.Catalog) ([]ReuseReport, error) {
+	var out []ReuseReport
+	for _, s := range []Scenario{DesignerScenario(), PlannerScenario(), VerifierScenario()} {
+		rep, err := Reuse(cat, s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"cornet/internal/catalog"
+)
+
+func seeded() *catalog.Catalog {
+	c := catalog.New()
+	nfs := map[string]catalog.ImplKind{}
+	for _, nf := range EvalNFTypes() {
+		nfs[nf] = catalog.ImplAnsible
+	}
+	for _, nf := range []string{"eNodeB", "gNodeB", "switch", "switchA", "switchB", "coreA", "coreB"} {
+		nfs[nf] = catalog.ImplVendorCLI
+	}
+	catalog.Seed(c, nfs)
+	return c
+}
+
+func TestDesignerReuseMatchesPaper(t *testing.T) {
+	rep, err := Reuse(seeded(), DesignerScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.1: 24 custom modules (18 NF-specific BB + 6 WF) vs 14 CORNET
+	// modules (1 agnostic BB + 12 specific BB + 1 WF) -> 42% re-use.
+	if rep.CustomTotal != 24 {
+		t.Fatalf("custom = %+v", rep)
+	}
+	if rep.CornetTotal != 14 || rep.CornetAgnosticBBs != 1 || rep.CornetSpecificBBs != 12 {
+		t.Fatalf("cornet = %+v", rep)
+	}
+	if math.Abs(rep.Reuse-0.42) > 0.01 {
+		t.Fatalf("reuse = %.3f, want ~0.42", rep.Reuse)
+	}
+}
+
+func TestPlannerReuseMatchesPaper(t *testing.T) {
+	rep, err := Reuse(seeded(), PlannerScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.2: 126 custom (30 BB + 96 WF) vs 11 CORNET (4 agnostic + 6
+	// specific + 1 WF) -> 91%.
+	if rep.CustomTotal != 126 || rep.CustomBBs != 30 || rep.CustomWFs != 96 {
+		t.Fatalf("custom = %+v", rep)
+	}
+	if rep.CornetTotal != 11 || rep.CornetAgnosticBBs != 4 || rep.CornetSpecificBBs != 6 {
+		t.Fatalf("cornet = %+v", rep)
+	}
+	if math.Abs(rep.Reuse-0.91) > 0.01 {
+		t.Fatalf("reuse = %.3f, want ~0.91", rep.Reuse)
+	}
+}
+
+func TestVerifierReuseMatchesPaper(t *testing.T) {
+	rep, err := Reuse(seeded(), VerifierScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.3: 63 custom (54 BB + 9 WF) vs 11 CORNET -> 83%.
+	if rep.CustomTotal != 63 || rep.CustomBBs != 54 || rep.CustomWFs != 9 {
+		t.Fatalf("custom = %+v", rep)
+	}
+	if rep.CornetTotal != 11 || rep.CornetAgnosticBBs != 4 || rep.CornetSpecificBBs != 6 {
+		t.Fatalf("cornet = %+v", rep)
+	}
+	if math.Abs(rep.Reuse-0.83) > 0.01 {
+		t.Fatalf("reuse = %.3f, want ~0.83", rep.Reuse)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	rows, err := Table3(seeded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Reuse <= 0 || r.Reuse >= 1 {
+			t.Fatalf("row %s reuse = %v", r.Name, r.Reuse)
+		}
+	}
+}
+
+func TestReuseValidation(t *testing.T) {
+	if _, err := Reuse(seeded(), Scenario{}); err == nil {
+		t.Fatal("empty scenario accepted")
+	}
+	s := DesignerScenario()
+	s.NFTypes = []string{"unknownNF"}
+	if _, err := Reuse(catalog.New(), s); err == nil {
+		t.Fatal("unknown blocks accepted")
+	}
+}

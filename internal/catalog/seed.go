@@ -1,0 +1,156 @@
+package catalog
+
+// Canonical building-block names from Table 2 of the paper. Workflows refer
+// to blocks by these names; the catalog resolves NF-specific vs NF-agnostic
+// implementations at deployment time.
+const (
+	// Design and orchestration phase.
+	BBHealthCheck    = "health-check"
+	BBConflictCheck  = "conflict-check"
+	BBTrafficRedir   = "traffic-redirect"
+	BBSoftwareUpg    = "software-upgrade"
+	BBConfigChange   = "config-change"
+	BBPrePostCompare = "pre-post-comparison"
+	BBTrafficRestore = "traffic-restore"
+	BBRollback       = "roll-back"
+
+	// Schedule-planning phase.
+	BBDetectConflicts = "detect-conflicts"
+	BBExtractTopo     = "extract-topology"
+	BBExtractInv      = "extract-inventory"
+	BBModelTranslate  = "model-translation"
+	BBOptSolver       = "optimization-solver"
+
+	// Impact-verification phase.
+	BBChangeScope  = "change-scope"
+	BBExtractKPI   = "extract-kpi"
+	BBAggregateKPI = "aggregate-kpi"
+	BBImpactDetect = "impact-detection"
+)
+
+// tableTwo mirrors Table 2: name, phase, function, NF-agnostic flag.
+// extract-topology and extract-inventory appear in Table 2 under both the
+// planning and verification phases; we register them once under planning
+// (the function is identical, which is exactly the re-use point).
+var tableTwo = []struct {
+	name     string
+	phase    Phase
+	function string
+	agnostic bool
+}{
+	{BBHealthCheck, PhaseDesign, "Verify live and operational status", false},
+	{BBConflictCheck, PhaseDesign, "Ensure no conflicting activities", true},
+	{BBTrafficRedir, PhaseDesign, "Migrate traffic away before the change", false},
+	{BBSoftwareUpg, PhaseDesign, "Implementation of the upgrade", false},
+	{BBConfigChange, PhaseDesign, "Implementation of the config change", false},
+	{BBPrePostCompare, PhaseDesign, "Compare before and after the change", true},
+	{BBTrafficRestore, PhaseDesign, "Bring traffic back after the change", false},
+	{BBRollback, PhaseDesign, "Restore to the previous version", false},
+
+	{BBDetectConflicts, PhasePlanning, "Identify conflicting changes", true},
+	{BBExtractTopo, PhasePlanning, "Identify dependent nodes", true},
+	{BBExtractInv, PhasePlanning, "Identify attributes for constraints", false},
+	{BBModelTranslate, PhasePlanning, "Intent to low-level constraint templates", true},
+	{BBOptSolver, PhasePlanning, "Discover schedule", true},
+
+	{BBChangeScope, PhaseVerify, "Identify scope of change", true},
+	{BBExtractKPI, PhaseVerify, "Collect data for pre/post", false},
+	{BBAggregateKPI, PhaseVerify, "Aggregate across attributes", true},
+	{BBImpactDetect, PhaseVerify, "Statistical comparison of KPI", true},
+}
+
+// Seed registers the canonical Table 2 blocks into a catalog. NF-agnostic
+// blocks get a native in-process implementation; NF-specific blocks are
+// registered for each of the provided NF types with the given
+// implementation kind per type (defaulting to Ansible).
+func Seed(c *Catalog, nfTypes map[string]ImplKind) {
+	for _, row := range tableTwo {
+		if row.agnostic {
+			c.MustRegister(&BuildingBlock{
+				Name:        row.name,
+				Phase:       row.phase,
+				Function:    row.function,
+				NFAgnostic:  true,
+				Impl:        ImplNative,
+				APILocation: "/api/bb/" + row.name,
+				Version:     1,
+				Inputs:      defaultInputs(row.name),
+				Outputs:     defaultOutputs(row.name),
+			})
+			continue
+		}
+		for nf, impl := range nfTypes {
+			if impl == "" {
+				impl = ImplAnsible
+			}
+			c.MustRegister(&BuildingBlock{
+				Name:        row.name,
+				Phase:       row.phase,
+				Function:    row.function,
+				NFType:      nf,
+				Impl:        impl,
+				APILocation: "/api/bb/" + row.name + "/" + nf,
+				Version:     1,
+				Inputs:      defaultInputs(row.name),
+				Outputs:     defaultOutputs(row.name),
+			})
+		}
+	}
+}
+
+// SeedAgnosticOnly registers only the NF-agnostic Table 2 blocks: the
+// minimum catalog for planning and verification over arbitrary inventories.
+func SeedAgnosticOnly(c *Catalog) {
+	Seed(c, nil)
+}
+
+// TableTwoRows exposes the canonical catalog rows for reproduction of
+// Table 2 in the benchmark harness.
+func TableTwoRows() []struct {
+	Name, Function string
+	Phase          Phase
+	NFAgnostic     bool
+} {
+	out := make([]struct {
+		Name, Function string
+		Phase          Phase
+		NFAgnostic     bool
+	}, len(tableTwo))
+	for i, r := range tableTwo {
+		out[i].Name, out[i].Function, out[i].Phase, out[i].NFAgnostic = r.name, r.function, r.phase, r.agnostic
+	}
+	return out
+}
+
+func defaultInputs(name string) []Param {
+	common := []Param{{Name: "instance", Type: "string", Required: true, Doc: "target network function instance id"}}
+	switch name {
+	case BBSoftwareUpg, BBRollback:
+		return append(common, Param{Name: "sw_version", Type: "string", Required: true, Doc: "software image version"})
+	case BBConfigChange:
+		return append(common, Param{Name: "config", Type: "json", Required: true, Doc: "configuration payload"})
+	case BBPrePostCompare, BBImpactDetect:
+		return append(common, Param{Name: "kpis", Type: "json", Doc: "KPI selection for the comparison"})
+	case BBModelTranslate:
+		return []Param{{Name: "intent", Type: "json", Required: true, Doc: "high-level scheduling intent"}}
+	case BBOptSolver:
+		return []Param{{Name: "model", Type: "json", Required: true, Doc: "translated constraint model"}}
+	case BBAggregateKPI:
+		return append(common, Param{Name: "attributes", Type: "json", Doc: "location/config aggregation attributes"})
+	default:
+		return common
+	}
+}
+
+func defaultOutputs(name string) []Param {
+	switch name {
+	case BBModelTranslate:
+		return []Param{{Name: "model", Type: "json", Doc: "constraint model ready for the solver"}}
+	case BBOptSolver:
+		return []Param{{Name: "schedule", Type: "json", Doc: "per-instance timeslot assignment"}}
+	case BBPrePostCompare, BBImpactDetect:
+		return []Param{{Name: "verdict", Type: "string", Doc: "improvement | degradation | no-impact"}}
+	default:
+		return []Param{{Name: "status", Type: "string", Doc: "success | failure"}}
+	}
+}

@@ -1,0 +1,355 @@
+// Package core wires CORNET's components into one framework facade: the
+// building-block catalog, workflow designer and deployments, the Camunda-
+// style orchestrator and dispatcher, the change schedule planner (intent ->
+// model -> solver, with heuristic fallback at scale), and the change impact
+// verifier. It is the API a network operations team programs against; the
+// cmd/ binaries and examples/ are thin layers over it.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"cornet/internal/catalog"
+	"cornet/internal/inventory"
+	"cornet/internal/orchestrator"
+	"cornet/internal/plan/decompose"
+	"cornet/internal/plan/heuristic"
+	"cornet/internal/plan/intent"
+	"cornet/internal/plan/solver"
+	"cornet/internal/plan/translate"
+	"cornet/internal/topology"
+	"cornet/internal/verify/groups"
+	"cornet/internal/verify/kpi"
+	"cornet/internal/verify/verifier"
+	"cornet/internal/workflow"
+)
+
+// Framework is the assembled CORNET instance.
+type Framework struct {
+	Catalog  *catalog.Catalog
+	Engine   *orchestrator.Engine
+	Registry *kpi.Registry
+	// ScaleThreshold is the instance count above which schedule planning
+	// switches from the generic model-driven solver to the custom
+	// heuristic (Section 3.3.3; the paper's solvers handle ~1,000).
+	ScaleThreshold int
+	// SolverOptions bound the generic solver's search.
+	SolverOptions solver.Options
+	// HeuristicRestarts configures the Algorithm 1 local search.
+	HeuristicRestarts int
+}
+
+// Option customizes framework construction.
+type Option func(*Framework)
+
+// WithInvoker sets the building-block invoker (testbed, HTTP, or fake).
+func WithInvoker(inv orchestrator.Invoker) Option {
+	return func(f *Framework) { f.Engine = orchestrator.NewEngine(inv) }
+}
+
+// WithScaleThreshold overrides the solver/heuristic switch point.
+func WithScaleThreshold(n int) Option {
+	return func(f *Framework) { f.ScaleThreshold = n }
+}
+
+// WithSolverOptions overrides search limits.
+func WithSolverOptions(o solver.Options) Option {
+	return func(f *Framework) { f.SolverOptions = o }
+}
+
+// New assembles a framework with a seeded Table 2 catalog for the given
+// NF types and a fresh KPI registry.
+func New(nfTypes map[string]catalog.ImplKind, opts ...Option) *Framework {
+	f := &Framework{
+		Catalog:           catalog.New(),
+		Registry:          kpi.NewRegistry(),
+		ScaleThreshold:    1000,
+		HeuristicRestarts: 8,
+	}
+	catalog.Seed(f.Catalog, nfTypes)
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// VerifyWorkflow verifies a design against the catalog (structure plus
+// parameter flow) for a target NF type.
+func (f *Framework) VerifyWorkflow(w *workflow.Workflow, nfType string) error {
+	return w.Verify(func(block string) (workflow.BlockInfo, bool) {
+		b, err := f.Catalog.Lookup(block, nfType)
+		if err != nil {
+			return workflow.BlockInfo{}, false
+		}
+		info := workflow.BlockInfo{}
+		for _, p := range b.Inputs {
+			info.Inputs = append(info.Inputs, workflow.ParamSpec{Name: p.Name, Required: p.Required})
+		}
+		for _, p := range b.Outputs {
+			info.Outputs = append(info.Outputs, workflow.ParamSpec{Name: p.Name, Required: p.Required})
+		}
+		return info, true
+	})
+}
+
+// DeployWorkflow verifies and deploys a workflow for an NF type,
+// generating the deployment artifact (the WAR equivalent).
+func (f *Framework) DeployWorkflow(w *workflow.Workflow, nfType string) (*workflow.Deployment, error) {
+	if err := f.VerifyWorkflow(w, nfType); err != nil {
+		return nil, err
+	}
+	return workflow.Deploy(w, nfType, func(block, nf string) (string, error) {
+		b, err := f.Catalog.Lookup(block, nf)
+		if err != nil {
+			return "", err
+		}
+		return b.APILocation, nil
+	})
+}
+
+// Execute runs a deployed workflow against one instance.
+func (f *Framework) Execute(ctx context.Context, dep *workflow.Deployment, inputs map[string]string) (*orchestrator.Execution, error) {
+	if f.Engine == nil {
+		return nil, fmt.Errorf("core: no invoker configured (use WithInvoker)")
+	}
+	return f.Engine.Execute(ctx, dep, inputs)
+}
+
+// Dispatch runs scheduled changes through the dispatcher with bounded
+// concurrency.
+func (f *Framework) Dispatch(ctx context.Context, dep *workflow.Deployment,
+	changes []orchestrator.ScheduledChange, concurrency int) ([]orchestrator.Result, error) {
+	if f.Engine == nil {
+		return nil, fmt.Errorf("core: no invoker configured (use WithInvoker)")
+	}
+	d := orchestrator.NewDispatcher(f.Engine, concurrency)
+	return d.Run(ctx, func(orchestrator.ScheduledChange) (*workflow.Deployment, error) {
+		return dep, nil
+	}, changes), nil
+}
+
+// PlanResult is the schedule planner's output.
+type PlanResult struct {
+	// Assignment maps element ids to timeslot indexes; Leftovers did not
+	// fit the window.
+	Assignment map[string]int
+	Leftovers  []string
+	Slots      []intent.Timeslot
+	Conflicts  int
+	Makespan   int
+	// Method records which engine produced the plan ("solver" or
+	// "heuristic").
+	Method string
+	// Discovery is the schedule discovery time.
+	Discovery time.Duration
+	// ModelText is the rendered constraint model (solver path only).
+	ModelText string
+}
+
+// PlanOptions tune one planning request.
+type PlanOptions struct {
+	Topology *topology.Graph
+	// RequireAll forbids leftovers (solver path).
+	RequireAll bool
+	// ForceSolver / ForceHeuristic override the scale-based selection.
+	ForceSolver    bool
+	ForceHeuristic bool
+	// RenderModel includes the MiniZinc-style model text in the result.
+	RenderModel bool
+	// HeuristicSlotCapacity / EMSCapacity configure the heuristic path
+	// when the intent's concurrency constraints cannot be mapped 1:1.
+	HeuristicSlotCapacity int
+	HeuristicEMSCapacity  int
+	Seed                  int64
+}
+
+// PlanSchedule runs the full planning pipeline: parse intent, translate to
+// a constraint model, and solve — with the generic model-driven solver up
+// to ScaleThreshold instances and the Appendix C heuristic beyond.
+func (f *Framework) PlanSchedule(intentJSON []byte, inv *inventory.Inventory, opt PlanOptions) (*PlanResult, error) {
+	req, err := intent.Parse(intentJSON)
+	if err != nil {
+		return nil, err
+	}
+	return f.PlanScheduleRequest(req, inv, opt)
+}
+
+// PlanScheduleRequest is PlanSchedule for a pre-parsed request.
+func (f *Framework) PlanScheduleRequest(req *intent.Request, inv *inventory.Inventory, opt PlanOptions) (*PlanResult, error) {
+	start := time.Now()
+	useHeuristic := opt.ForceHeuristic || (!opt.ForceSolver && inv.Len() > f.ScaleThreshold)
+	if useHeuristic {
+		res, err := f.planHeuristic(req, inv, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.Discovery = time.Since(start)
+		return res, nil
+	}
+	tr, err := translate.Translate(req, inv, translate.Options{
+		RequireAll: opt.RequireAll,
+		Topology:   opt.Topology,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sched, err := decompose.Solve(tr.Model, decompose.SolveOptions{
+		Solver:   f.SolverOptions,
+		Contract: true,
+		Split:    true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := tr.Expand(sched)
+	res := &PlanResult{
+		Assignment: map[string]int{},
+		Leftovers:  a.Leftovers,
+		Slots:      tr.Slots,
+		Conflicts:  sched.Conflicts,
+		Makespan:   sched.Makespan,
+		Method:     "solver",
+		Discovery:  time.Since(start),
+	}
+	for slot, ids := range a.BySlot {
+		for _, id := range ids {
+			res.Assignment[id] = slot
+		}
+	}
+	if opt.RenderModel {
+		res.ModelText = tr.Model.Render()
+	}
+	return res, nil
+}
+
+// planHeuristic maps the intent onto the Appendix C heuristic: slot count
+// from the scheduling window, global capacity from the first ESA-level
+// concurrency constraint, EMS capacity from a concurrency constraint
+// aggregated on the EMS attribute, conflicts from the conflict table.
+func (f *Framework) planHeuristic(req *intent.Request, inv *inventory.Inventory, opt PlanOptions) (*PlanResult, error) {
+	slots, err := req.Timeslots()
+	if err != nil {
+		return nil, err
+	}
+	slotCap := opt.HeuristicSlotCapacity
+	emsCap := opt.HeuristicEMSCapacity
+	for _, c := range req.ByName(intent.Concurrency) {
+		switch {
+		case c.BaseAttribute == req.SchedulableAttribute && c.AggregateAttribute == "":
+			if slotCap == 0 {
+				slotCap = c.DefaultCapacity
+			}
+		case c.AggregateAttribute == inventory.AttrEMS || c.BaseAttribute == inventory.AttrEMS:
+			if emsCap == 0 {
+				emsCap = c.DefaultCapacity
+			}
+		}
+	}
+	if slotCap <= 0 {
+		// No global cap given: size so the fleet fits the window.
+		slotCap = inv.Len()/len(slots) + 1
+	}
+	slotConflicts, err := req.SlotConflicts(slots)
+	if err != nil {
+		return nil, err
+	}
+	h := heuristic.Solve(heuristic.Instance{
+		Inv:          inv,
+		MaxTimeslots: len(slots),
+		SlotCapacity: slotCap,
+		EMSCapacity:  emsCap,
+		Conflicts:    slotConflicts,
+		Restarts:     f.HeuristicRestarts,
+		Seed:         opt.Seed,
+	})
+	return &PlanResult{
+		Assignment: h.Slots,
+		Leftovers:  h.Leftovers,
+		Slots:      slots,
+		Conflicts:  h.Conflicts,
+		Makespan:   h.Makespan,
+		Method:     "heuristic",
+	}, nil
+}
+
+// ControlGroup derives a control group for impact verification.
+func (f *Framework) ControlGroup(topo *topology.Graph, inv *inventory.Inventory,
+	study []string, criterion groups.Criterion, opt groups.Options) ([]string, error) {
+	sel := &groups.Selector{Topo: topo, Inv: inv}
+	return sel.Control(study, criterion, opt)
+}
+
+// VerifyImpact runs the impact verifier over a data source.
+func (f *Framework) VerifyImpact(data verifier.DataSource, inv *inventory.Inventory,
+	rule verifier.Rule, study []string, changeAt map[string]int, control []string) (*verifier.Report, error) {
+	v := &verifier.Verifier{Registry: f.Registry, Data: data, Inv: inv}
+	return v.Verify(rule, study, changeAt, control)
+}
+
+// CheckSchedule validates a manually-proposed schedule against a request's
+// constraints without discovering a new one — the intermediate adoption
+// step of Section 5.3: operators guessed a schedule by hand and CORNET
+// automated the conflict checking until they trusted full discovery.
+// assignment maps element ids to timeslot indexes (elements absent from
+// the map are treated as unscheduled). Returns the human-readable
+// violation list (empty = the manual schedule conforms).
+func (f *Framework) CheckSchedule(req *intent.Request, inv *inventory.Inventory,
+	assignment map[string]int, opt PlanOptions) ([]string, error) {
+	tr, err := translate.Translate(req, inv, translate.Options{
+		Topology: opt.Topology,
+	})
+	if err != nil {
+		return nil, err
+	}
+	slots := make([]int, len(tr.Model.Items))
+	for i := range slots {
+		slots[i] = -1
+	}
+	index := map[string]int{}
+	for idx, ids := range tr.ItemElements {
+		for _, id := range ids {
+			index[id] = idx
+		}
+	}
+	conflicting := map[int]map[int]bool{} // item -> proposed slots
+	for id, slot := range assignment {
+		idx, ok := index[id]
+		if !ok {
+			return nil, fmt.Errorf("core: assignment references unknown element %q", id)
+		}
+		if slot < 0 || slot >= tr.Model.NumSlots {
+			return nil, fmt.Errorf("core: element %q assigned to slot %d outside the %d-slot window",
+				id, slot, tr.Model.NumSlots)
+		}
+		if conflicting[idx] == nil {
+			conflicting[idx] = map[int]bool{}
+		}
+		conflicting[idx][slot] = true
+	}
+	var problems []string
+	for idx, set := range conflicting {
+		if len(set) > 1 {
+			problems = append(problems,
+				fmt.Sprintf("elements of schedulable unit %q assigned to %d different slots",
+					tr.Model.Items[idx].ID, len(set)))
+			continue
+		}
+		for s := range set {
+			slots[idx] = s
+		}
+	}
+	for _, v := range tr.Model.Check(slots) {
+		problems = append(problems, fmt.Sprintf("%s: %s", v.Kind, v.Detail))
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// ParseIntent parses a Listing 1 scheduling-intent document; exposed so
+// framework users need not import the internal intent package directly.
+func ParseIntent(doc []byte) (*intent.Request, error) {
+	return intent.Parse(doc)
+}

@@ -1,0 +1,380 @@
+// Package netgen generates synthetic network topologies and inventories
+// modeling the three services of Appendix A:
+//
+//   - 4G/5G cellular RAN: markets -> TACs (tracking area codes) -> USIDs
+//     (cell sites holding co-located eNodeB/gNodeB) -> base stations, each
+//     homed to an EMS and connected through a common switch (SIAD) to the
+//     transport and core networks.
+//   - VPN: customer edge (CE) and provider edge (PE) router pairs over a
+//     core backbone, with a mix of physical and virtual CEs.
+//   - SDWAN: customer premise equipment (CPE) -> point of presence ->
+//     aggregate router -> cloud zones hosting vGW / portal / vVIG VNFs on
+//     physical servers behind ToR switches, with primary/backup pairs.
+//
+// All generators are seeded and deterministic. They produce an
+// inventory.Inventory plus a topology.Graph carrying link, service-chain,
+// and cross-layer edges — the substrate for the planner, verifier, and
+// testbed.
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cornet/internal/inventory"
+	"cornet/internal/topology"
+)
+
+// Network bundles a generated inventory and topology.
+type Network struct {
+	Inv  *inventory.Inventory
+	Topo *topology.Graph
+}
+
+// CellularConfig sizes a RAN generation.
+type CellularConfig struct {
+	Seed          int64
+	Markets       int
+	TACsPerMarket int
+	USIDsPerTAC   int
+	// GNodeBFraction is the fraction of USIDs that also host a 5G gNodeB
+	// (5G roll-out progresses over time).
+	GNodeBFraction float64
+	// EMSCount is the number of element management systems nodes home to.
+	EMSCount int
+	// Vendors cycles hardware vendors across markets.
+	Vendors []string
+}
+
+// DefaultCellular returns a config producing roughly n base stations.
+func DefaultCellular(n int, seed int64) CellularConfig {
+	// ~2 nodes per USID at 80% gNodeB fraction -> usids ~ n/1.8.
+	usids := n * 10 / 18
+	if usids < 1 {
+		usids = 1
+	}
+	markets := usids/200 + 1
+	tacs := 10
+	per := usids / (markets * tacs)
+	if per < 1 {
+		per = 1
+	}
+	return CellularConfig{
+		Seed: seed, Markets: markets, TACsPerMarket: tacs, USIDsPerTAC: per,
+		GNodeBFraction: 0.8, EMSCount: markets*2 + 2,
+		Vendors: []string{"vendorA", "vendorB", "vendorC"},
+	}
+}
+
+// Cellular generates the RAN network. Each USID holds one eNodeB and
+// (probabilistically) one gNodeB; co-located nodes share a SIAD switch
+// (one per TAC) — the "common switch to all co-located eNodeBs" used for
+// topology repair in Section 5.3. X2-style neighbor links connect adjacent
+// USIDs within a TAC.
+func Cellular(cfg CellularConfig) (*Network, error) {
+	if cfg.Markets <= 0 || cfg.TACsPerMarket <= 0 || cfg.USIDsPerTAC <= 0 {
+		return nil, fmt.Errorf("netgen: cellular config must be positive")
+	}
+	if len(cfg.Vendors) == 0 {
+		cfg.Vendors = []string{"vendorA"}
+	}
+	if cfg.EMSCount <= 0 {
+		cfg.EMSCount = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := &Network{Inv: inventory.New(), Topo: topology.New()}
+	carriers := []string{"CF-1", "CF-2", "CF-3", "CF-4", "CF-5"}
+	morphs := []string{"urban", "suburban", "rural"}
+	nodeID := 0
+	for m := 0; m < cfg.Markets; m++ {
+		market := fmt.Sprintf("market-%03d", m)
+		tz := fmt.Sprintf("%d", -5-m%4) // -5..-8, US-style offsets
+		vendor := cfg.Vendors[m%len(cfg.Vendors)]
+		region := fmt.Sprintf("region-%d", m%4)
+		for t := 0; t < cfg.TACsPerMarket; t++ {
+			tac := fmt.Sprintf("tac-%03d-%02d", m, t)
+			siad := fmt.Sprintf("siad-%03d-%02d", m, t)
+			net.Inv.MustAdd(&inventory.Element{
+				ID: siad,
+				Attributes: map[string]string{
+					inventory.AttrNFType:   "switch",
+					inventory.AttrMarket:   market,
+					inventory.AttrTAC:      tac,
+					inventory.AttrTimezone: tz,
+					inventory.AttrRegion:   region,
+					inventory.AttrLayer:    "transport",
+					inventory.AttrVendor:   vendor,
+				},
+			})
+			var prevENB string
+			for u := 0; u < cfg.USIDsPerTAC; u++ {
+				usid := fmt.Sprintf("usid-%03d-%02d-%03d", m, t, u)
+				morph := morphs[rng.Intn(len(morphs))]
+				hw := fmt.Sprintf("hw-%s-%d", vendor, rng.Intn(3)+1)
+				ems := fmt.Sprintf("ems-%02d", (m*cfg.TACsPerMarket+t)%cfg.EMSCount)
+				enb := fmt.Sprintf("enb-%06d", nodeID)
+				nodeID++
+				nCF := 2 + rng.Intn(3)
+				cfs := append([]string(nil), carriers[:nCF]...)
+				net.Inv.MustAdd(&inventory.Element{
+					ID: enb,
+					Attributes: map[string]string{
+						inventory.AttrNFType:    "eNodeB",
+						inventory.AttrMarket:    market,
+						inventory.AttrTAC:       tac,
+						inventory.AttrUSID:      usid,
+						inventory.AttrEMS:       ems,
+						inventory.AttrTimezone:  tz,
+						inventory.AttrRegion:    region,
+						inventory.AttrHWVersion: hw,
+						inventory.AttrSWVersion: "sw-4.1",
+						inventory.AttrVendor:    vendor,
+						inventory.AttrMorph:     morph,
+						inventory.AttrLayer:     "edge",
+						inventory.AttrRadioHead: fmt.Sprintf("rh-%02d", rng.Intn(27)),
+						inventory.AttrMIMOMode:  fmt.Sprintf("mimo-%d", rng.Intn(5)),
+					},
+					MultiAttrs: map[string][]string{inventory.AttrCarrier: cfs},
+				})
+				if err := net.Topo.AddEdge(enb, siad, topology.Link); err != nil {
+					return nil, err
+				}
+				if prevENB != "" { // X2 neighbor relation
+					_ = net.Topo.AddEdge(prevENB, enb, topology.Link)
+				}
+				prevENB = enb
+				if rng.Float64() < cfg.GNodeBFraction {
+					gnb := fmt.Sprintf("gnb-%06d", nodeID)
+					nodeID++
+					net.Inv.MustAdd(&inventory.Element{
+						ID: gnb,
+						Attributes: map[string]string{
+							inventory.AttrNFType:    "gNodeB",
+							inventory.AttrMarket:    market,
+							inventory.AttrTAC:       tac,
+							inventory.AttrUSID:      usid,
+							inventory.AttrEMS:       ems,
+							inventory.AttrTimezone:  tz,
+							inventory.AttrRegion:    region,
+							inventory.AttrHWVersion: hw,
+							inventory.AttrSWVersion: "sw-5.0",
+							inventory.AttrVendor:    vendor,
+							inventory.AttrMorph:     morph,
+							inventory.AttrLayer:     "edge",
+						},
+						MultiAttrs: map[string][]string{inventory.AttrCarrier: {"CF-5"}},
+					})
+					_ = net.Topo.AddEdge(gnb, siad, topology.Link)
+					_ = net.Topo.AddEdge(gnb, enb, topology.Link) // co-located
+				}
+			}
+		}
+	}
+	// Core: one MME/SGW pair per region, SIADs connect to their region core.
+	coreByRegion := map[string][2]string{}
+	for m := 0; m < cfg.Markets; m++ {
+		region := fmt.Sprintf("region-%d", m%4)
+		if _, ok := coreByRegion[region]; ok {
+			continue
+		}
+		mme := fmt.Sprintf("mme-%s", region)
+		sgw := fmt.Sprintf("sgw-%s", region)
+		for _, id := range []string{mme, sgw} {
+			nf := "MME"
+			if id == sgw {
+				nf = "S/P-GW"
+			}
+			net.Inv.MustAdd(&inventory.Element{
+				ID: id,
+				Attributes: map[string]string{
+					inventory.AttrNFType: nf,
+					inventory.AttrRegion: region,
+					inventory.AttrLayer:  "core",
+				},
+			})
+		}
+		_ = net.Topo.AddEdge(mme, sgw, topology.Link)
+		coreByRegion[region] = [2]string{mme, sgw}
+	}
+	for m := 0; m < cfg.Markets; m++ {
+		region := fmt.Sprintf("region-%d", m%4)
+		core := coreByRegion[region]
+		for t := 0; t < cfg.TACsPerMarket; t++ {
+			siad := fmt.Sprintf("siad-%03d-%02d", m, t)
+			_ = net.Topo.AddEdge(siad, core[0], topology.Link)
+			_ = net.Topo.AddEdge(siad, core[1], topology.Link)
+		}
+	}
+	return net, nil
+}
+
+// VPNConfig sizes a VPN generation (Fig. 7).
+type VPNConfig struct {
+	Seed int64
+	// Sites is the number of customer sites (CE/PE pairs).
+	Sites int
+	// VirtualFraction is the share of CE routers that are virtual (vCE)
+	// and hosted on physical servers (cross-layer dependency).
+	VirtualFraction float64
+	// CoreRouters is the backbone size.
+	CoreRouters int
+}
+
+// VPN generates the VPN service network: CE-PE pairs over a core backbone.
+func VPN(cfg VPNConfig) (*Network, error) {
+	if cfg.Sites <= 0 {
+		return nil, fmt.Errorf("netgen: VPN needs sites > 0")
+	}
+	if cfg.CoreRouters <= 0 {
+		cfg.CoreRouters = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := &Network{Inv: inventory.New(), Topo: topology.New()}
+	for c := 0; c < cfg.CoreRouters; c++ {
+		id := fmt.Sprintf("core-%02d", c)
+		net.Inv.MustAdd(&inventory.Element{ID: id, Attributes: map[string]string{
+			inventory.AttrNFType: "core-router", inventory.AttrLayer: "core",
+		}})
+		if c > 0 {
+			_ = net.Topo.AddEdge(id, fmt.Sprintf("core-%02d", c-1), topology.Link)
+		}
+	}
+	_ = net.Topo.AddEdge("core-00", fmt.Sprintf("core-%02d", cfg.CoreRouters-1), topology.Link)
+	serverCount := cfg.Sites/10 + 1
+	for s := 0; s < serverCount; s++ {
+		id := fmt.Sprintf("server-%03d", s)
+		net.Inv.MustAdd(&inventory.Element{ID: id, Attributes: map[string]string{
+			inventory.AttrNFType: "server", inventory.AttrLayer: "edge",
+		}})
+	}
+	for s := 0; s < cfg.Sites; s++ {
+		pe := fmt.Sprintf("pe-%04d", s)
+		ce := fmt.Sprintf("ce-%04d", s)
+		virtual := rng.Float64() < cfg.VirtualFraction
+		nfType := "CE"
+		if virtual {
+			nfType = "vCE"
+			ce = fmt.Sprintf("vce-%04d", s)
+		}
+		net.Inv.MustAdd(&inventory.Element{ID: pe, Attributes: map[string]string{
+			inventory.AttrNFType: "PE", inventory.AttrLayer: "edge",
+			inventory.AttrMarket: fmt.Sprintf("vpn-market-%d", s%5),
+		}})
+		attrs := map[string]string{
+			inventory.AttrNFType: nfType, inventory.AttrLayer: "edge",
+			inventory.AttrMarket:    fmt.Sprintf("vpn-market-%d", s%5),
+			inventory.AttrSWVersion: "ce-16.3",
+		}
+		if virtual {
+			host := fmt.Sprintf("server-%03d", rng.Intn(serverCount))
+			attrs[inventory.AttrServer] = host
+			net.Inv.MustAdd(&inventory.Element{ID: ce, Attributes: attrs})
+			_ = net.Topo.AddEdge(ce, host, topology.CrossLayer)
+		} else {
+			net.Inv.MustAdd(&inventory.Element{ID: ce, Attributes: attrs})
+		}
+		_ = net.Topo.AddEdge(ce, pe, topology.Link)
+		_ = net.Topo.AddEdge(pe, fmt.Sprintf("core-%02d", s%cfg.CoreRouters), topology.Link)
+		if err := net.Topo.RegisterChain(fmt.Sprintf("vpn-site-%04d", s),
+			[]string{ce, pe, fmt.Sprintf("core-%02d", s%cfg.CoreRouters)}); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}
+
+// SDWANConfig sizes an SDWAN generation (Fig. 8).
+type SDWANConfig struct {
+	Seed       int64
+	CloudZones int
+	// GatewaysPerZone is the vGW count per cloud zone.
+	GatewaysPerZone int
+	// CPEs is the number of customer premise devices.
+	CPEs int
+}
+
+// SDWAN generates the SDWAN service network: CPEs connect through PoPs and
+// aggregate routers to cloud zones hosting vGW/portal/vVIG VNFs on
+// physical servers behind ToR switches. Each vGW has a backup in another
+// zone; primary and backup must not share a change window with their
+// hosting servers (the cross-layer risk of Section 2.2).
+func SDWAN(cfg SDWANConfig) (*Network, error) {
+	if cfg.CloudZones <= 0 || cfg.GatewaysPerZone <= 0 {
+		return nil, fmt.Errorf("netgen: SDWAN needs zones and gateways > 0")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := &Network{Inv: inventory.New(), Topo: topology.New()}
+	type zoneInfo struct {
+		tor     string
+		servers []string
+		vgws    []string
+	}
+	zones := make([]zoneInfo, cfg.CloudZones)
+	for z := 0; z < cfg.CloudZones; z++ {
+		zone := fmt.Sprintf("zone-%02d", z)
+		tor := fmt.Sprintf("tor-%02d", z)
+		net.Inv.MustAdd(&inventory.Element{ID: tor, Attributes: map[string]string{
+			inventory.AttrNFType: "ToR", inventory.AttrMarket: zone, inventory.AttrLayer: "transport",
+		}})
+		zones[z].tor = tor
+		nServers := cfg.GatewaysPerZone/2 + 1
+		for s := 0; s < nServers; s++ {
+			srv := fmt.Sprintf("srv-%02d-%02d", z, s)
+			net.Inv.MustAdd(&inventory.Element{ID: srv, Attributes: map[string]string{
+				inventory.AttrNFType: "server", inventory.AttrMarket: zone, inventory.AttrLayer: "edge",
+			}})
+			_ = net.Topo.AddEdge(srv, tor, topology.Link)
+			zones[z].servers = append(zones[z].servers, srv)
+		}
+		addVNF := func(id, nf string) string {
+			host := zones[z].servers[rng.Intn(len(zones[z].servers))]
+			net.Inv.MustAdd(&inventory.Element{ID: id, Attributes: map[string]string{
+				inventory.AttrNFType: nf, inventory.AttrMarket: zone,
+				inventory.AttrServer: host, inventory.AttrLayer: "edge",
+				inventory.AttrSWVersion: "sdwan-2.4",
+			}})
+			_ = net.Topo.AddEdge(id, host, topology.CrossLayer)
+			return id
+		}
+		addVNF(fmt.Sprintf("portal-%02d", z), "portal")
+		addVNF(fmt.Sprintf("vvig-%02d", z), "vVIG")
+		for g := 0; g < cfg.GatewaysPerZone; g++ {
+			vgw := addVNF(fmt.Sprintf("vgw-%02d-%02d", z, g), "vGW")
+			zones[z].vgws = append(zones[z].vgws, vgw)
+		}
+	}
+	// Primary/backup vGW pairing across zones.
+	if cfg.CloudZones > 1 {
+		for z := 0; z < cfg.CloudZones; z++ {
+			other := (z + 1) % cfg.CloudZones
+			for g, vgw := range zones[z].vgws {
+				backup := zones[other].vgws[g%len(zones[other].vgws)]
+				_ = net.Topo.AddEdge(vgw, backup, topology.ServiceChain)
+			}
+		}
+	}
+	// CPE -> PoP -> aggregate -> zone chains.
+	for c := 0; c < cfg.CPEs; c++ {
+		cpe := fmt.Sprintf("cpe-%04d", c)
+		pop := fmt.Sprintf("pop-%02d", c%8)
+		agg := fmt.Sprintf("agg-%02d", c%4)
+		for _, pair := range [][2]string{{pop, "PoP"}, {agg, "aggregate-router"}} {
+			if _, ok := net.Inv.Get(pair[0]); !ok {
+				net.Inv.MustAdd(&inventory.Element{ID: pair[0], Attributes: map[string]string{
+					inventory.AttrNFType: pair[1], inventory.AttrLayer: "transport",
+				}})
+			}
+		}
+		net.Inv.MustAdd(&inventory.Element{ID: cpe, Attributes: map[string]string{
+			inventory.AttrNFType: "CPE", inventory.AttrLayer: "edge",
+			inventory.AttrMarket: fmt.Sprintf("sdwan-market-%d", c%6),
+		}})
+		z := c % cfg.CloudZones
+		vgw := zones[z].vgws[c%len(zones[z].vgws)]
+		if err := net.Topo.RegisterChain(fmt.Sprintf("sdwan-chain-%04d", c),
+			[]string{cpe, pop, agg, zones[z].tor, vgw}); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}

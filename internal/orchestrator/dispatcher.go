@@ -1,0 +1,115 @@
+package orchestrator
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"cornet/internal/workflow"
+)
+
+// ScheduledChange binds one instance to a deployment, its inputs, and the
+// timeslot the schedule planner assigned.
+type ScheduledChange struct {
+	Instance string
+	Timeslot int
+	Inputs   map[string]string
+}
+
+// Dispatcher invokes the orchestrator at the scheduled time for each
+// instance (Section 3.4). Timeslots are logical (maintenance windows); the
+// dispatcher processes them in order, running the changes of one slot with
+// bounded concurrency, and triggering the next instance's workflow as soon
+// as a worker frees up.
+type Dispatcher struct {
+	Engine *Engine
+	// Concurrency bounds simultaneous workflow executions within a slot
+	// (the run-time counterpart of the planner's concurrency constraint).
+	Concurrency int
+	// OnSlotStart, if set, is called before each timeslot is processed.
+	OnSlotStart func(slot int, n int)
+}
+
+// NewDispatcher wraps an engine with a concurrency limit.
+func NewDispatcher(eng *Engine, concurrency int) *Dispatcher {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	return &Dispatcher{Engine: eng, Concurrency: concurrency}
+}
+
+// Result pairs an instance with its completed execution.
+type Result struct {
+	Instance string
+	Timeslot int
+	Exec     *Execution
+	Err      error
+}
+
+// Run executes all scheduled changes slot by slot and returns the results
+// ordered by (timeslot, instance). A context cancellation stops dispatching
+// further slots but lets in-flight workflows finish their current block.
+func (d *Dispatcher) Run(ctx context.Context, dep DeploymentResolver, changes []ScheduledChange) []Result {
+	bySlot := map[int][]ScheduledChange{}
+	for _, c := range changes {
+		bySlot[c.Timeslot] = append(bySlot[c.Timeslot], c)
+	}
+	slots := make([]int, 0, len(bySlot))
+	for s := range bySlot {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+
+	var results []Result
+	var mu sync.Mutex
+	for _, slot := range slots {
+		if ctx.Err() != nil {
+			break
+		}
+		batch := bySlot[slot]
+		sort.Slice(batch, func(i, j int) bool { return batch[i].Instance < batch[j].Instance })
+		if d.OnSlotStart != nil {
+			d.OnSlotStart(slot, len(batch))
+		}
+		sem := make(chan struct{}, d.Concurrency)
+		var wg sync.WaitGroup
+		for _, c := range batch {
+			c := c
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				deployment, err := dep(c)
+				var res Result
+				res.Instance, res.Timeslot = c.Instance, c.Timeslot
+				if err != nil {
+					res.Err = fmt.Errorf("dispatcher: resolve deployment for %s: %w", c.Instance, err)
+				} else {
+					inputs := map[string]string{"instance": c.Instance}
+					for k, v := range c.Inputs {
+						inputs[k] = v
+					}
+					res.Exec, res.Err = d.Engine.Execute(ctx, deployment, inputs)
+				}
+				mu.Lock()
+				results = append(results, res)
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Timeslot != results[j].Timeslot {
+			return results[i].Timeslot < results[j].Timeslot
+		}
+		return results[i].Instance < results[j].Instance
+	})
+	return results
+}
+
+// DeploymentResolver selects the deployment for a scheduled change; it lets
+// a single dispatch run mix NF types (each resolving to its own deployment
+// artifact).
+type DeploymentResolver func(ScheduledChange) (*workflow.Deployment, error)

@@ -1,0 +1,226 @@
+package orchestrator
+
+// Event-driven (policy-based) change composition: the alternative design
+// strategy discussed in the Section 3.2 remarks. Building blocks are not
+// explicitly wired into a workflow graph; instead, policies subscribe to
+// events and invoke blocks whose completion emits further events. The
+// paper argues workflow-based composition makes change design, state
+// management, and fall-out troubleshooting easier, and defers a
+// quantitative comparison to future work — BenchmarkEventVsWorkflow in
+// bench_test.go provides that comparison on this implementation.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is a message on the policy bus.
+type Event struct {
+	// Topic names the event, e.g. "change.requested", "health.ok".
+	Topic string
+	// Data carries the accumulated change state.
+	Data map[string]string
+}
+
+// Policy reacts to a topic by invoking a building block and emitting
+// follow-up events.
+type Policy struct {
+	// Name identifies the policy in logs.
+	Name string
+	// On is the topic that triggers the policy.
+	On string
+	// Block is the building-block API to invoke ("" for pure routing
+	// policies that only re-emit).
+	Block string
+	// Args maps block inputs to literals ("=v") or state refs ("$k"),
+	// like workflow task nodes.
+	Args map[string]string
+	// Saves maps block outputs into the event state.
+	Saves map[string]string
+	// Emit chooses the follow-up topic from the block outcome: keys are
+	// "success" and "failure" (invocation error), plus output-value
+	// matches of the form "verdict=degradation".
+	Emit map[string]string
+}
+
+// EventEngine runs policies to quiescence for one change.
+type EventEngine struct {
+	invoker  Invoker
+	policies []Policy
+	// MaxEvents guards against policy loops.
+	MaxEvents int
+	Clock     func() time.Time
+}
+
+// NewEventEngine builds an engine over an invoker and policy set.
+func NewEventEngine(inv Invoker, policies []Policy) *EventEngine {
+	return &EventEngine{invoker: inv, policies: policies, MaxEvents: 1000, Clock: time.Now}
+}
+
+// EventTrace records one policy firing.
+type EventTrace struct {
+	Policy   string
+	Topic    string
+	Block    string
+	Status   Status
+	Err      string
+	Emitted  string
+	Duration time.Duration
+}
+
+// EventExecution is the outcome of one event-driven change.
+type EventExecution struct {
+	mu     sync.Mutex
+	Status Status
+	State  map[string]string
+	Trace  []EventTrace
+}
+
+// Run injects the start event and processes the policy cascade until no
+// policy matches, a terminal topic ("done" / "failed") is reached, or the
+// event budget is exhausted. Unlike the workflow engine there is no
+// explicit end state: termination is emergent from the policy set, which
+// is exactly the state-management difficulty the paper calls out.
+func (e *EventEngine) Run(ctx context.Context, start Event) (*EventExecution, error) {
+	exec := &EventExecution{Status: StatusRunning, State: map[string]string{}}
+	for k, v := range start.Data {
+		exec.State[k] = v
+	}
+	queue := []string{start.Topic}
+	events := 0
+	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			exec.Status = StatusFailure
+			return exec, fmt.Errorf("orchestrator: event run halted: %w", err)
+		}
+		topic := queue[0]
+		queue = queue[1:]
+		switch topic {
+		case "done":
+			exec.Status = StatusSuccess
+			return exec, nil
+		case "failed":
+			exec.Status = StatusFailure
+			return exec, fmt.Errorf("orchestrator: event cascade reached failed")
+		}
+		matched := false
+		for _, p := range e.policies {
+			if p.On != topic {
+				continue
+			}
+			matched = true
+			if events++; events > e.MaxEvents {
+				exec.Status = StatusFailure
+				return exec, fmt.Errorf("orchestrator: event budget exceeded (%d); policy loop?", e.MaxEvents)
+			}
+			emitted, tr := e.fire(ctx, p, exec)
+			exec.Trace = append(exec.Trace, tr)
+			if emitted != "" {
+				queue = append(queue, emitted)
+			}
+		}
+		_ = matched // unmatched topics simply die out (another fall-out hazard)
+	}
+	// Queue drained without reaching "done": the cascade fizzled.
+	exec.Status = StatusFailure
+	return exec, fmt.Errorf("orchestrator: event cascade ended without completion")
+}
+
+func (e *EventEngine) fire(ctx context.Context, p Policy, exec *EventExecution) (string, EventTrace) {
+	tr := EventTrace{Policy: p.Name, Topic: p.On, Block: p.Block, Status: StatusSuccess}
+	start := e.Clock()
+	var outputs map[string]string
+	var err error
+	if p.Block != "" {
+		args := map[string]string{}
+		exec.mu.Lock()
+		for k, v := range exec.State {
+			args[k] = v
+		}
+		exec.mu.Unlock()
+		for name, binding := range p.Args {
+			if strings.HasPrefix(binding, "$") {
+				args[name] = exec.State[binding[1:]]
+			} else {
+				args[name] = strings.TrimPrefix(binding, "=")
+			}
+		}
+		outputs, err = e.invoker.Invoke(ctx, p.Block, args)
+	}
+	tr.Duration = e.Clock().Sub(start)
+	if err != nil {
+		tr.Status = StatusFailure
+		tr.Err = err.Error()
+		tr.Emitted = p.Emit["failure"]
+		return tr.Emitted, tr
+	}
+	exec.mu.Lock()
+	for out, v := range p.Saves {
+		if val, ok := outputs[out]; ok {
+			exec.State[v] = val
+		}
+	}
+	exec.mu.Unlock()
+	// Value-matched emissions take precedence over the generic success.
+	for key, emit := range p.Emit {
+		name, want, found := strings.Cut(key, "=")
+		if !found {
+			continue
+		}
+		if outputs[name] == want {
+			tr.Emitted = emit
+			return emit, tr
+		}
+	}
+	tr.Emitted = p.Emit["success"]
+	return tr.Emitted, tr
+}
+
+// UpgradePolicies expresses the Fig. 4 software-upgrade flow as an
+// event-driven policy set, for the workflow-vs-event comparison.
+func UpgradePolicies() []Policy {
+	return []Policy{
+		{
+			Name: "on-request-health-check", On: "change.requested",
+			Block: "/api/bb/health-check",
+			Saves: map[string]string{"status": "health_status"},
+			Emit: map[string]string{
+				"status=success": "health.ok",
+				"status=failure": "done", // unhealthy: end without change
+				"failure":        "failed",
+			},
+		},
+		{
+			Name: "on-healthy-upgrade", On: "health.ok",
+			Block: "/api/bb/software-upgrade",
+			Saves: map[string]string{"status": "upgrade_status"},
+			Emit: map[string]string{
+				"status=success": "upgraded",
+				"failure":        "failed",
+			},
+		},
+		{
+			Name: "on-upgraded-compare", On: "upgraded",
+			Block: "/api/bb/pre-post-comparison",
+			Saves: map[string]string{"verdict": "compare_verdict"},
+			Emit: map[string]string{
+				"verdict=degradation": "comparison.bad",
+				"success":             "done",
+				"failure":             "failed",
+			},
+		},
+		{
+			Name: "on-bad-comparison-rollback", On: "comparison.bad",
+			Block: "/api/bb/roll-back",
+			Args:  map[string]string{"sw_version": "$prior_version"},
+			Saves: map[string]string{"status": "rollback_status"},
+			Emit: map[string]string{
+				"success": "done",
+				"failure": "failed",
+			},
+		},
+	}
+}

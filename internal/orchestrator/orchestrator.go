@@ -1,0 +1,371 @@
+// Package orchestrator executes deployed change workflows (Section 3.4).
+//
+// It plays the role Camunda plays in the paper: it walks the workflow graph
+// from start to end, invokes each building block through its REST API,
+// records fine-grained per-block status and timing logs, treats each block
+// execution as atomic, and supports pause/resume so operations teams can
+// halt an automated execution on unexpected alarms and continue after
+// troubleshooting.
+package orchestrator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"cornet/internal/workflow"
+)
+
+// Invoker dispatches a building-block invocation to its implementation via
+// the REST location recorded in the deployment. The testbed provides an
+// in-process implementation; cmd/cornetd wires a real HTTP one.
+type Invoker interface {
+	Invoke(ctx context.Context, api string, args map[string]string) (outputs map[string]string, err error)
+}
+
+// InvokerFunc adapts a function to the Invoker interface.
+type InvokerFunc func(ctx context.Context, api string, args map[string]string) (map[string]string, error)
+
+// Invoke implements Invoker.
+func (f InvokerFunc) Invoke(ctx context.Context, api string, args map[string]string) (map[string]string, error) {
+	return f(ctx, api, args)
+}
+
+// Status of a block execution or a whole workflow execution.
+type Status string
+
+const (
+	StatusSuccess Status = "success"
+	StatusFailure Status = "failure"
+	StatusSkipped Status = "skipped"
+	StatusRunning Status = "running"
+	StatusPaused  Status = "paused"
+)
+
+// BlockLog is the per-building-block execution record: the fine-grained
+// logging that lets operations teams identify offending blocks post hoc.
+type BlockLog struct {
+	NodeID   string
+	Block    string
+	API      string
+	Status   Status
+	Err      string
+	Started  time.Time
+	Duration time.Duration
+}
+
+// Execution is the record of one workflow run against one instance.
+type Execution struct {
+	mu       sync.Mutex
+	Workflow string
+	Instance string
+	Status   Status
+	Err      string
+	Started  time.Time
+	Finished time.Time
+	Logs     []BlockLog
+	State    map[string]string // final global state
+
+	pauseReq  chan struct{}
+	resumeReq chan struct{}
+	paused    bool
+}
+
+// Pause requests a halt after the currently executing building block
+// completes (block executions are atomic). It is safe to call from any
+// goroutine and is idempotent while an execution is running.
+func (e *Execution) Pause() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.Status == StatusRunning && !e.paused {
+		e.paused = true
+		select {
+		case e.pauseReq <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Resume continues a paused execution.
+func (e *Execution) Resume() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.paused {
+		e.paused = false
+		select {
+		case e.resumeReq <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Paused reports whether a pause has been requested/active.
+func (e *Execution) Paused() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.paused
+}
+
+// snapshotLogs returns a copy of the block logs.
+func (e *Execution) snapshotLogs() []BlockLog {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]BlockLog(nil), e.Logs...)
+}
+
+// FailedBlocks returns the node ids of blocks that failed, supporting the
+// post-hoc analysis of unsuccessful change executions.
+func (e *Execution) FailedBlocks() []string {
+	var out []string
+	for _, l := range e.snapshotLogs() {
+		if l.Status == StatusFailure {
+			out = append(out, l.NodeID)
+		}
+	}
+	return out
+}
+
+// Engine executes deployments.
+type Engine struct {
+	invoker Invoker
+	// Clock abstracts time for tests; defaults to time.Now.
+	Clock func() time.Time
+	// MaxSteps bounds graph traversal to catch accidental cycles at run
+	// time (verification should prevent them, but defense in depth).
+	MaxSteps int
+}
+
+// NewEngine returns an engine dispatching through the given invoker.
+func NewEngine(inv Invoker) *Engine {
+	return &Engine{invoker: inv, Clock: time.Now, MaxSteps: 10_000}
+}
+
+// ErrHalted is returned when the context is cancelled mid-execution.
+var ErrHalted = errors.New("orchestrator: execution halted")
+
+// Execute runs a deployed workflow against inputs. The required workflow
+// inputs must be present in inputs. Execution is synchronous; use
+// goroutines plus Execution.Pause for interactive control. The returned
+// Execution is also usable (for Pause) while Execute runs if obtained via
+// Start.
+func (eng *Engine) Execute(ctx context.Context, dep *workflow.Deployment, inputs map[string]string) (*Execution, error) {
+	exec, run := eng.prepare(dep, inputs)
+	if run == nil {
+		return exec, errors.New(exec.Err)
+	}
+	run(ctx)
+	if exec.Status == StatusFailure {
+		return exec, fmt.Errorf("orchestrator: workflow %s on %s failed: %s", exec.Workflow, exec.Instance, exec.Err)
+	}
+	return exec, nil
+}
+
+// Start begins an asynchronous execution and returns immediately with the
+// live Execution handle plus a done channel.
+func (eng *Engine) Start(ctx context.Context, dep *workflow.Deployment, inputs map[string]string) (*Execution, <-chan struct{}) {
+	exec, run := eng.prepare(dep, inputs)
+	done := make(chan struct{})
+	if run == nil {
+		close(done)
+		return exec, done
+	}
+	go func() {
+		defer close(done)
+		run(ctx)
+	}()
+	return exec, done
+}
+
+func (eng *Engine) prepare(dep *workflow.Deployment, inputs map[string]string) (*Execution, func(context.Context)) {
+	exec := &Execution{
+		Workflow:  dep.WorkflowName,
+		Instance:  inputs["instance"],
+		Status:    StatusRunning,
+		Started:   eng.Clock(),
+		State:     map[string]string{},
+		pauseReq:  make(chan struct{}, 1),
+		resumeReq: make(chan struct{}, 1),
+	}
+	for k, v := range inputs {
+		exec.State[k] = v
+	}
+	for _, p := range dep.Workflow.Inputs {
+		if p.Required {
+			if _, ok := inputs[p.Name]; !ok {
+				exec.Status = StatusFailure
+				exec.Err = fmt.Sprintf("missing required workflow input %q", p.Name)
+				exec.Finished = eng.Clock()
+				return exec, nil
+			}
+		}
+	}
+	return exec, func(ctx context.Context) { eng.run(ctx, dep, exec) }
+}
+
+func (eng *Engine) run(ctx context.Context, dep *workflow.Deployment, exec *Execution) {
+	w := dep.Workflow
+	cur := w.StartNode()
+	steps := 0
+	fail := func(format string, args ...any) {
+		exec.mu.Lock()
+		exec.Status = StatusFailure
+		exec.Err = fmt.Sprintf(format, args...)
+		exec.Finished = eng.Clock()
+		exec.mu.Unlock()
+	}
+	for {
+		if steps++; steps > eng.MaxSteps {
+			fail("exceeded %d steps; cyclic workflow?", eng.MaxSteps)
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			fail("%v: %v", ErrHalted, err)
+			return
+		}
+		// Honor a pause request between atomic block executions.
+		if exec.Paused() {
+			exec.mu.Lock()
+			exec.Status = StatusPaused
+			exec.mu.Unlock()
+			select {
+			case <-exec.resumeReq:
+				exec.mu.Lock()
+				exec.Status = StatusRunning
+				exec.mu.Unlock()
+			case <-ctx.Done():
+				fail("%v while paused", ErrHalted)
+				return
+			}
+		}
+
+		node, ok := nodeByID(w, cur)
+		if !ok {
+			fail("dangling edge to %q", cur)
+			return
+		}
+		succ := w.Succ(cur)
+		switch node.Kind {
+		case workflow.Start:
+			cur = succ[""]
+		case workflow.End:
+			exec.mu.Lock()
+			exec.Status = StatusSuccess
+			exec.Finished = eng.Clock()
+			exec.mu.Unlock()
+			return
+		case workflow.Decision:
+			v := exec.State[node.Cond]
+			branch := "no"
+			if isAffirmative(v) {
+				branch = "yes"
+			}
+			next, ok := succ[branch]
+			if !ok {
+				fail("decision %q missing %q branch", cur, branch)
+				return
+			}
+			cur = next
+		case workflow.Task:
+			if !eng.runTask(ctx, dep, exec, node) {
+				return
+			}
+			cur = succ[""]
+		default:
+			fail("unknown node kind %q", node.Kind)
+			return
+		}
+		if cur == "" {
+			fail("node %q has no successor", node.ID)
+			return
+		}
+	}
+}
+
+// runTask invokes one building block atomically; returns false if the
+// workflow must stop (invocation infrastructure failure). Block-level
+// failures (status=failure output) do NOT abort the workflow: decision
+// nodes route around them, mirroring Fig. 4.
+func (eng *Engine) runTask(ctx context.Context, dep *workflow.Deployment, exec *Execution, node *workflow.Node) bool {
+	api := dep.BlockAPIs[node.Block]
+	args := map[string]string{}
+	// Default propagation: expose the full state; explicit Args override.
+	exec.mu.Lock()
+	for k, v := range exec.State {
+		args[k] = v
+	}
+	exec.mu.Unlock()
+	for name, binding := range node.Args {
+		if strings.HasPrefix(binding, "$") {
+			exec.mu.Lock()
+			args[name] = exec.State[binding[1:]]
+			exec.mu.Unlock()
+		} else {
+			args[name] = strings.TrimPrefix(binding, "=")
+		}
+	}
+
+	start := eng.Clock()
+	outputs, err := eng.invoker.Invoke(ctx, api, args)
+	entry := BlockLog{
+		NodeID:   node.ID,
+		Block:    node.Block,
+		API:      api,
+		Started:  start,
+		Duration: eng.Clock().Sub(start),
+		Status:   StatusSuccess,
+	}
+	if err != nil {
+		entry.Status = StatusFailure
+		entry.Err = err.Error()
+	}
+	exec.mu.Lock()
+	exec.Logs = append(exec.Logs, entry)
+	if err != nil {
+		// Record the failure in state so decision nodes can branch on it,
+		// then let the graph decide; if no decision consumes it, the
+		// workflow proceeds and overall status stays success per "at least
+		// one start-to-end flow" (§3.4). Infrastructure-level context
+		// cancellation aborts outright.
+		for out, v := range node.Saves {
+			_ = out
+			exec.State[v] = "failure"
+		}
+		exec.mu.Unlock()
+		if ctx.Err() != nil {
+			exec.mu.Lock()
+			exec.Status = StatusFailure
+			exec.Err = ctx.Err().Error()
+			exec.Finished = eng.Clock()
+			exec.mu.Unlock()
+			return false
+		}
+		return true
+	}
+	for out, v := range node.Saves {
+		if val, ok := outputs[out]; ok {
+			exec.State[v] = val
+		}
+	}
+	exec.mu.Unlock()
+	return true
+}
+
+func nodeByID(w *workflow.Workflow, id string) (*workflow.Node, bool) {
+	for i := range w.Nodes {
+		if w.Nodes[i].ID == id {
+			return &w.Nodes[i], true
+		}
+	}
+	return nil, false
+}
+
+func isAffirmative(v string) bool {
+	switch strings.ToLower(v) {
+	case "success", "true", "yes", "ok", "pass", "no-impact", "improvement":
+		return true
+	}
+	return false
+}

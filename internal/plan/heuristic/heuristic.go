@@ -1,0 +1,480 @@
+// Package heuristic implements the custom local-search scheduler of
+// Appendix C (Algorithm 1), used by the eNodeB/gNodeB operations teams to
+// scale change schedule discovery to tens of thousands of nodes.
+//
+// The algorithm decomposes the problem by timezone (scheduled sequentially
+// in UTC-offset order), and within each timezone runs a restart-based local
+// search: generate a market permutation, walk markets in order (the
+// localize constraint), schedule each market's TACs — sorted by fewest
+// conflicts on the current timeslot, then by descending size — placing all
+// nodes of a USID into the same timeslot (the consistency constraint),
+// respecting per-slot and per-EMS capacities (concurrency), and pushing
+// overflow past the window as leftovers. The best schedule by
+// (conflict count, weighted total completion time) wins.
+//
+// Changes are single-window here, matching Algorithm 1's eNodeB/gNodeB
+// software-upgrade setting; multi-window durations (node re-tuning,
+// construction) are handled by the model-driven path via
+// model.Item.Duration.
+package heuristic
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+
+	"cornet/internal/inventory"
+)
+
+// Instance is one scheduling sub-problem over an inventory whose elements
+// carry market, tac, usid, timezone, and ems attributes.
+type Instance struct {
+	Inv *inventory.Inventory
+	// MaxTimeslots is the scheduling window length.
+	MaxTimeslots int
+	// SlotCapacity is the global per-slot node capacity C(s).
+	SlotCapacity int
+	// EMSCapacity bounds concurrent executions per EMS per slot (0 = off).
+	EMSCapacity int
+	// Conflicts maps node id to slot indexes colliding with existing
+	// changes; each collision counts toward the schedule's conflict total.
+	Conflicts map[string][]int
+	// Restarts is the number of market permutations tried per timezone
+	// (the local-search loop of Algorithm 1). Defaults to 8.
+	Restarts int
+	// Seed makes permutation generation reproducible.
+	Seed int64
+	// TimeLimit is the stopping criterion; 0 means restart-bounded only.
+	TimeLimit time.Duration
+}
+
+// Result is the discovered schedule.
+type Result struct {
+	// Slots assigns each scheduled node a timeslot.
+	Slots map[string]int
+	// Leftovers lists nodes that did not fit the window; they require a
+	// new scheduling request (Algorithm 1 lines 8-10).
+	Leftovers []string
+	Conflicts int
+	// WTCT is the weighted total completion time of Eq. 6.
+	WTCT int64
+	// Makespan is the highest used slot index + 1.
+	Makespan int
+}
+
+// Solve runs Algorithm 1 over every timezone sequentially.
+func Solve(inst Instance) Result {
+	if inst.Restarts <= 0 {
+		inst.Restarts = 8
+	}
+	deadline := time.Time{}
+	if inst.TimeLimit > 0 {
+		deadline = time.Now().Add(inst.TimeLimit)
+	}
+	rng := rand.New(rand.NewSource(inst.Seed))
+
+	// Sort timezones by UTC offset (e.g. Eastern -5 before Central -6 in
+	// string terms; numeric parse orders correctly).
+	tzGroups := inst.Inv.GroupBy(inventory.AttrTimezone)
+	tzs := make([]string, 0, len(tzGroups))
+	for tz := range tzGroups {
+		tzs = append(tzs, tz)
+	}
+	sort.Slice(tzs, func(i, j int) bool {
+		a, errA := strconv.ParseFloat(tzs[i], 64)
+		b, errB := strconv.ParseFloat(tzs[j], 64)
+		if errA == nil && errB == nil {
+			return a > b // easternmost (least negative) first
+		}
+		return tzs[i] < tzs[j]
+	})
+
+	total := Result{Slots: map[string]int{}}
+	cap := newCapTracker(inst)
+	startSlot := 0
+	for _, tz := range tzs {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			// Window exhausted by time budget: push the rest as leftovers.
+			total.Leftovers = append(total.Leftovers, tzGroups[tz]...)
+			continue
+		}
+		sub := inst.subInstance(tzGroups[tz])
+		best := solveTimezone(inst, sub, cap, startSlot, rng, deadline)
+		for id, s := range best.Slots {
+			total.Slots[id] = s
+			cap.commit(id, s, inst)
+		}
+		total.Leftovers = append(total.Leftovers, best.Leftovers...)
+		total.Conflicts += best.Conflicts
+		// Next timezone starts at the last slot with spare capacity used by
+		// this sub-schedule (border sharing), or right after it.
+		if best.Makespan > 0 {
+			last := best.Makespan - 1
+			if cap.slotFull(last, inst) {
+				startSlot = last + 1
+			} else {
+				startSlot = last
+			}
+		}
+		if startSlot >= inst.MaxTimeslots {
+			startSlot = inst.MaxTimeslots - 1
+		}
+	}
+	recompute(&total, inst)
+	return total
+}
+
+// node holds the attributes Algorithm 1 groups by.
+type node struct {
+	id     string
+	market string
+	tac    string
+	usid   string
+	ems    string
+}
+
+type subProblem struct {
+	nodes   []node
+	markets []string
+	// tacsByMarket -> tac -> usids -> node ids
+	tacsByMarket map[string][]string
+	usidsByTAC   map[string][]string
+	nodesByUSID  map[string][]string
+}
+
+func (inst Instance) subInstance(ids []string) subProblem {
+	sp := subProblem{
+		tacsByMarket: map[string][]string{},
+		usidsByTAC:   map[string][]string{},
+		nodesByUSID:  map[string][]string{},
+	}
+	seenM := map[string]bool{}
+	seenT := map[string]bool{}
+	seenU := map[string]bool{}
+	for _, id := range ids {
+		e, ok := inst.Inv.Get(id)
+		if !ok {
+			continue
+		}
+		n := node{
+			id:     id,
+			market: attrOr(e, inventory.AttrMarket, "m?"),
+			tac:    attrOr(e, inventory.AttrTAC, "t?"),
+			usid:   attrOr(e, inventory.AttrUSID, id),
+			ems:    attrOr(e, inventory.AttrEMS, ""),
+		}
+		sp.nodes = append(sp.nodes, n)
+		if !seenM[n.market] {
+			seenM[n.market] = true
+			sp.markets = append(sp.markets, n.market)
+		}
+		tacKey := n.market + "/" + n.tac
+		if !seenT[tacKey] {
+			seenT[tacKey] = true
+			sp.tacsByMarket[n.market] = append(sp.tacsByMarket[n.market], n.tac)
+		}
+		usidKey := n.tac + "/" + n.usid
+		if !seenU[usidKey] {
+			seenU[usidKey] = true
+			sp.usidsByTAC[n.tac] = append(sp.usidsByTAC[n.tac], n.usid)
+		}
+		sp.nodesByUSID[n.usid] = append(sp.nodesByUSID[n.usid], id)
+	}
+	sort.Strings(sp.markets)
+	for m := range sp.tacsByMarket {
+		sort.Strings(sp.tacsByMarket[m])
+	}
+	for t := range sp.usidsByTAC {
+		sort.Strings(sp.usidsByTAC[t])
+	}
+	return sp
+}
+
+func attrOr(e *inventory.Element, attr, def string) string {
+	if v, ok := e.Attr(attr); ok && v != "" {
+		return v
+	}
+	return def
+}
+
+// capTracker carries committed capacity usage across timezones so border
+// slots are shared correctly.
+type capTracker struct {
+	slotUse []int
+	emsUse  map[string][]int
+}
+
+func newCapTracker(inst Instance) *capTracker {
+	return &capTracker{
+		slotUse: make([]int, inst.MaxTimeslots),
+		emsUse:  map[string][]int{},
+	}
+}
+
+func (c *capTracker) clone(inst Instance) *capTracker {
+	cc := &capTracker{slotUse: append([]int(nil), c.slotUse...), emsUse: map[string][]int{}}
+	for k, v := range c.emsUse {
+		cc.emsUse[k] = append([]int(nil), v...)
+	}
+	return cc
+}
+
+func (c *capTracker) fits(n node, slot int, inst Instance) bool {
+	if c.slotUse[slot] >= inst.SlotCapacity {
+		return false
+	}
+	if inst.EMSCapacity > 0 && n.ems != "" {
+		if use := c.emsUse[n.ems]; use != nil && use[slot] >= inst.EMSCapacity {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *capTracker) place(n node, slot int, inst Instance) {
+	c.slotUse[slot]++
+	if inst.EMSCapacity > 0 && n.ems != "" {
+		use := c.emsUse[n.ems]
+		if use == nil {
+			use = make([]int, inst.MaxTimeslots)
+			c.emsUse[n.ems] = use
+		}
+		use[slot]++
+	}
+}
+
+func (c *capTracker) commit(id string, slot int, inst Instance) {
+	e, ok := inst.Inv.Get(id)
+	if !ok {
+		return
+	}
+	c.place(node{
+		id:  id,
+		ems: attrOr(e, inventory.AttrEMS, ""),
+	}, slot, inst)
+}
+
+func (c *capTracker) slotFull(slot int, inst Instance) bool {
+	return c.slotUse[slot] >= inst.SlotCapacity
+}
+
+// solveTimezone runs the restart loop (Algorithm 1 lines 2-23) for one
+// timezone's nodes starting at startSlot.
+func solveTimezone(inst Instance, sp subProblem, committed *capTracker, startSlot int, rng *rand.Rand, deadline time.Time) Result {
+	var best Result
+	bestSet := false
+	for restart := 0; restart < inst.Restarts; restart++ {
+		if !deadline.IsZero() && time.Now().After(deadline) && bestSet {
+			break
+		}
+		perm := append([]string(nil), sp.markets...)
+		if restart > 0 { // first pass uses the deterministic sorted order
+			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		}
+		cand := scheduleOnce(inst, sp, committed.clone(inst), startSlot, perm)
+		if !bestSet || better(cand, best) {
+			best, bestSet = cand, true
+		}
+	}
+	return best
+}
+
+// better implements the lexicographic comparison of Algorithm 1 line 22:
+// fewer leftovers first (unschedulable work dominates), then fewer
+// conflicts, then lower weighted total completion time.
+func better(a, b Result) bool {
+	if len(a.Leftovers) != len(b.Leftovers) {
+		return len(a.Leftovers) < len(b.Leftovers)
+	}
+	if a.Conflicts != b.Conflicts {
+		return a.Conflicts < b.Conflicts
+	}
+	return a.WTCT < b.WTCT
+}
+
+// scheduleOnce performs one pass over a market permutation.
+func scheduleOnce(inst Instance, sp subProblem, cap *capTracker, startSlot int, markets []string) Result {
+	res := Result{Slots: map[string]int{}}
+	cur := startSlot
+	place := func(ids []string, slot int) {
+		for _, id := range ids {
+			cap.place(lookupNode(inst, id), slot, inst)
+			res.Slots[id] = slot
+		}
+	}
+	for _, mkt := range markets {
+		remTACs := append([]string(nil), sp.tacsByMarket[mkt]...)
+		marketLo := cur
+		for len(remTACs) > 0 && cur < inst.MaxTimeslots {
+			if cap.slotFull(cur, inst) {
+				cur++
+				continue
+			}
+			// Sort remaining TACs: fewest conflicts on cur first, then
+			// largest size (Algorithm 1 line 11).
+			sort.SliceStable(remTACs, func(i, j int) bool {
+				ci, cj := tacConflicts(inst, sp, remTACs[i], cur), tacConflicts(inst, sp, remTACs[j], cur)
+				if ci != cj {
+					return ci < cj
+				}
+				si, sj := tacSize(sp, remTACs[i]), tacSize(sp, remTACs[j])
+				if si != sj {
+					return si > sj
+				}
+				return remTACs[i] < remTACs[j]
+			})
+			progress := false
+			var still []string
+			for _, tac := range remTACs {
+				complete := true
+				for _, usid := range sp.usidsByTAC[tac] {
+					ids := sp.nodesByUSID[usid]
+					if _, done := res.Slots[ids[0]]; done {
+						continue
+					}
+					// Defer conflict-bearing groups while later slots
+					// remain: conflict-free schedules dominate usage.
+					if groupConflicts(inst, ids, cur) > 0 && cur+1 < inst.MaxTimeslots {
+						complete = false
+						continue
+					}
+					// All nodes of a USID go to the same timeslot; check the
+					// whole group atomically against slot and EMS capacity.
+					if !groupFits(inst, cap, ids, cur) {
+						complete = false
+						continue
+					}
+					place(ids, cur)
+					progress = true
+				}
+				if !complete {
+					still = append(still, tac)
+				}
+			}
+			remTACs = still
+			if !progress || cap.slotFull(cur, inst) {
+				cur++
+			}
+		}
+		// Salvage pass: remaining groups are forced into the market's own
+		// span [marketLo..] — accepting conflicts — so localize holds;
+		// whatever still does not fit becomes leftover work.
+		for _, tac := range remTACs {
+			for _, usid := range sp.usidsByTAC[tac] {
+				ids := sp.nodesByUSID[usid]
+				if _, done := res.Slots[ids[0]]; done {
+					continue
+				}
+				placed := false
+				for s := marketLo; s < inst.MaxTimeslots; s++ {
+					if groupFits(inst, cap, ids, s) {
+						place(ids, s)
+						if s+1 > cur {
+							cur = s
+						}
+						placed = true
+						break
+					}
+				}
+				if !placed {
+					res.Leftovers = append(res.Leftovers, ids...)
+				}
+			}
+		}
+	}
+	recompute(&res, inst)
+	return res
+}
+
+func groupConflicts(inst Instance, ids []string, slot int) int {
+	n := 0
+	for _, id := range ids {
+		n += conflictsAt(inst, id, slot)
+	}
+	return n
+}
+
+// groupFits checks that an entire USID group fits slot cur, accounting for
+// the group's own incremental consumption of slot and per-EMS capacity.
+func groupFits(inst Instance, cap *capTracker, ids []string, cur int) bool {
+	if cap.slotUse[cur]+len(ids) > inst.SlotCapacity {
+		return false
+	}
+	if inst.EMSCapacity > 0 {
+		need := map[string]int{}
+		for _, id := range ids {
+			if ems := lookupNode(inst, id).ems; ems != "" {
+				need[ems]++
+			}
+		}
+		for ems, n := range need {
+			have := 0
+			if use := cap.emsUse[ems]; use != nil {
+				have = use[cur]
+			}
+			if have+n > inst.EMSCapacity {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func lookupNode(inst Instance, id string) node {
+	e, _ := inst.Inv.Get(id)
+	if e == nil {
+		return node{id: id}
+	}
+	return node{
+		id:  id,
+		ems: attrOr(e, inventory.AttrEMS, ""),
+	}
+}
+
+func tacSize(sp subProblem, tac string) int {
+	n := 0
+	for _, usid := range sp.usidsByTAC[tac] {
+		n += len(sp.nodesByUSID[usid])
+	}
+	return n
+}
+
+func tacConflicts(inst Instance, sp subProblem, tac string, slot int) int {
+	n := 0
+	for _, usid := range sp.usidsByTAC[tac] {
+		for _, id := range sp.nodesByUSID[usid] {
+			n += conflictsAt(inst, id, slot)
+		}
+	}
+	return n
+}
+
+func conflictsAt(inst Instance, id string, slot int) int {
+	for _, s := range inst.Conflicts[id] {
+		if s == slot {
+			return 1
+		}
+	}
+	return 0
+}
+
+// recompute refreshes WTCT (Eq. 6), makespan, and conflicts from Slots.
+func recompute(r *Result, inst Instance) {
+	perSlot := map[int]int{}
+	r.Makespan = 0
+	r.Conflicts = 0
+	for id, s := range r.Slots {
+		perSlot[s]++
+		if s+1 > r.Makespan {
+			r.Makespan = s + 1
+		}
+		r.Conflicts += conflictsAt(inst, id, s)
+	}
+	var wtct int64
+	for s, n := range perSlot {
+		wtct += int64(s+1) * int64(n)
+	}
+	r.WTCT = wtct
+	sort.Strings(r.Leftovers)
+}

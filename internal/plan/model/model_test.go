@@ -1,0 +1,242 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func small() *Model {
+	m := &Model{
+		Name:     "t",
+		Items:    []Item{{ID: "a"}, {ID: "b"}, {ID: "c"}, {ID: "d"}},
+		NumSlots: 3,
+		Capacities: []Capacity{
+			{Name: "global", Sets: [][]int{{0, 1, 2, 3}}, Cap: 2},
+		},
+	}
+	m.Normalize()
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	m := small()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := small()
+	bad.Capacities[0].Sets[0] = []int{0, 9}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range set index accepted")
+	}
+	bad2 := small()
+	bad2.Items[1].ID = "a"
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("duplicate item id accepted")
+	}
+	bad3 := small()
+	bad3.Uniform = []Uniform{{Name: "tz", Values: []float64{1}, MaxDist: 1}}
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("uniform arity mismatch accepted")
+	}
+	bad4 := small()
+	bad4.Forbidden = [][]int{{5}, nil, nil, nil}
+	if err := bad4.Validate(); err == nil {
+		t.Fatal("forbidden slot out of range accepted")
+	}
+	empty := &Model{NumSlots: 1}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty model accepted")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	m := small()
+	m.ConflictSlots = [][]int{{1}, nil, nil, nil}
+	m.Normalize()
+	s, err := m.Evaluate([]int{1, 0, -1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Conflicts != 1 {
+		t.Fatalf("conflicts = %d", s.Conflicts)
+	}
+	if s.Makespan != 3 {
+		t.Fatalf("makespan = %d", s.Makespan)
+	}
+	if s.Unscheduled != 1 {
+		t.Fatalf("unscheduled = %d", s.Unscheduled)
+	}
+	// cost = (2 + 1 + skip + 3) + BigM
+	want := int64(2+1+3+m.SkipPenalty) + int64(m.BigM)
+	if s.Cost != want {
+		t.Fatalf("cost = %d, want %d", s.Cost, want)
+	}
+	if _, err := m.Evaluate([]int{0, 0, 0, 9}); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	if _, err := m.Evaluate([]int{0}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+}
+
+func TestCheckCapacity(t *testing.T) {
+	m := small()
+	// Three items in one slot exceeds cap 2.
+	v := m.Check([]int{0, 0, 0, 1})
+	if len(v) != 1 || v[0].Kind != "capacity" {
+		t.Fatalf("violations = %v", v)
+	}
+	if v := m.Check([]int{0, 0, 1, 1}); len(v) != 0 {
+		t.Fatalf("feasible flagged: %v", v)
+	}
+}
+
+func TestCheckWeightedCapacity(t *testing.T) {
+	m := small()
+	m.Items[0].Weight = 2
+	// a(w2) + b(w1) = 3 > 2 in slot 0.
+	if v := m.Check([]int{0, 0, 1, 2}); len(v) == 0 {
+		t.Fatal("weighted capacity violation missed")
+	}
+}
+
+func TestCheckGroupCount(t *testing.T) {
+	m := small()
+	m.GroupCounts = []GroupCount{{Name: "market", Groups: [][]int{{0, 1}, {2}, {3}}, Cap: 2}}
+	// Slot 0 has items from 3 distinct groups: violation.
+	m.Capacities[0].Cap = 10
+	if v := m.Check([]int{0, 0, 0, 0}); len(v) == 0 {
+		t.Fatal("group-count violation missed")
+	}
+	if v := m.Check([]int{0, 0, 0, 1}); len(v) != 0 {
+		t.Fatalf("feasible flagged: %v", v)
+	}
+}
+
+func TestCheckConsistencyUniformLocalize(t *testing.T) {
+	m := small()
+	m.Capacities[0].Cap = 4
+	m.SameSlot = [][]int{{0, 1}}
+	if v := m.Check([]int{0, 1, 2, 2}); len(v) != 1 || v[0].Kind != "consistency" {
+		t.Fatalf("consistency: %v", v)
+	}
+
+	m2 := small()
+	m2.Capacities[0].Cap = 4
+	m2.Uniform = []Uniform{{Name: "tz", Values: []float64{-5, -5, -8, -6}, MaxDist: 1}}
+	// Slot 0 holds tz -5 and -8: spread 3 > 1.
+	if v := m2.Check([]int{0, 1, 0, 1}); len(v) != 1 || v[0].Kind != "uniformity" {
+		t.Fatalf("uniformity: %v", v)
+	}
+	if v := m2.Check([]int{0, 0, 1, 2}); len(v) != 0 {
+		t.Fatalf("uniform feasible flagged: %v", v)
+	}
+
+	m3 := small()
+	m3.Capacities[0].Cap = 4
+	m3.Localized = []Localized{{Name: "market", Groups: [][]int{{0, 1}, {2, 3}}}}
+	// Group 1 range [0,2], group 2 at slot 1: interleaved.
+	if v := m3.Check([]int{0, 2, 1, 1}); len(v) != 1 || v[0].Kind != "localize" {
+		t.Fatalf("localize: %v", v)
+	}
+	// Boundary sharing is allowed (END <= START).
+	if v := m3.Check([]int{0, 1, 1, 2}); len(v) != 0 {
+		t.Fatalf("boundary share flagged: %v", v)
+	}
+}
+
+func TestCheckForbiddenAndZeroConflict(t *testing.T) {
+	m := small()
+	m.Forbidden = [][]int{{0}, nil, nil, nil}
+	m.ConflictSlots = [][]int{nil, {1}, nil, nil}
+	m.ZeroConflict = true
+	m.Normalize()
+	v := m.Check([]int{0, 1, -1, -1})
+	kinds := map[string]bool{}
+	for _, x := range v {
+		kinds[x.Kind] = true
+	}
+	if !kinds["forbidden"] || !kinds["conflict"] {
+		t.Fatalf("violations = %v", v)
+	}
+	// RequireAll flags leftovers.
+	m.RequireAll = true
+	v = m.Check([]int{1, 0, -1, 0})
+	found := false
+	for _, x := range v {
+		if x.Kind == "require-all" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("require-all not flagged: %v", v)
+	}
+}
+
+func TestStatsLinkingVariables(t *testing.T) {
+	// The Eq.2-3 encoding with y variables vs the dense Eq.4 encoding.
+	m := small()
+	if s := m.Stats(); s.DerivedVars != 0 {
+		t.Fatalf("unexpected derived vars: %+v", s)
+	}
+	m.GroupCounts = []GroupCount{{Name: "market", Groups: [][]int{{0, 1}, {2, 3}}, Cap: 1}}
+	s := m.Stats()
+	if s.DerivedVars != 2*3 { // 2 groups x 3 slots
+		t.Fatalf("derived vars = %d", s.DerivedVars)
+	}
+	if s.LinkRows != 4*3 { // 4 member-rows x 3 slots
+		t.Fatalf("link rows = %d", s.LinkRows)
+	}
+	if s.PrimaryVars != 4*3 {
+		t.Fatalf("primary vars = %d", s.PrimaryVars)
+	}
+}
+
+func TestRenderContainsSections(t *testing.T) {
+	m := small()
+	m.GroupCounts = []GroupCount{{Name: "market", Groups: [][]int{{0}, {1}}, Cap: 1}}
+	m.SameSlot = [][]int{{2, 3}}
+	m.Uniform = []Uniform{{Name: "timezone", Values: []float64{1, 2, 3, 4}, MaxDist: 1}}
+	m.Localized = []Localized{{Name: "market", Groups: [][]int{{0, 1}, {2, 3}}}}
+	m.Forbidden = [][]int{{0}, nil, nil, nil}
+	m.Normalize()
+	out := m.Render()
+	for _, want := range []string{
+		"var 0..1: X",
+		"sum(t in 1..n_timeslots)(X[i,t]) <= 1",
+		"capacity: global",
+		"Y_market",
+		"consistency group 0",
+		"uniformity: timezone",
+		"localize: market",
+		"X[1,1] == 0",
+		"solve minimize",
+		"BIGM",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q", want)
+		}
+	}
+	// RequireAll renders as equality.
+	m.RequireAll = true
+	if !strings.Contains(m.Render(), "== 1") {
+		t.Error("RequireAll not rendered")
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	m := &Model{Items: []Item{{ID: "a"}, {ID: "b", Weight: 3}}, NumSlots: 5}
+	m.Normalize()
+	if m.SkipPenalty != 12 {
+		t.Fatalf("SkipPenalty = %d", m.SkipPenalty)
+	}
+	if m.BigM <= m.SkipPenalty*4 {
+		t.Fatalf("BigM too small: %d", m.BigM)
+	}
+	if len(m.Forbidden) != 2 || len(m.ConflictSlots) != 2 {
+		t.Fatal("Normalize did not allocate slot lists")
+	}
+	if m.Weight(0) != 1 || m.Weight(1) != 3 {
+		t.Fatal("Weight defaults wrong")
+	}
+}

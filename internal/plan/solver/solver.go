@@ -1,0 +1,663 @@
+// Package solver implements the optimization-solver building block: a
+// constraint-programming branch-and-bound search over the dynamically
+// generated scheduling models of internal/plan/model. It plays the role
+// OR-Tools / CBC play behind MiniZinc in the paper (Section 3.3).
+//
+// The search assigns items (or whole consistency groups) to timeslots in a
+// static most-constrained-first order, propagating capacity, group-count,
+// uniformity, and localize state incrementally, and prunes with a simple
+// additive lower bound. The objective matches Listing 2: BigM * conflicts
+// + weighted completion time + skip penalties, so conflict count is
+// lexicographically minimized first.
+//
+// As in the paper, dense constraint templates (uniformity, localize) make
+// the search work much harder than sparse capacity rows; Section 4.2's
+// discovery-time blow-up reproduces directly from this behaviour.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"cornet/internal/plan/model"
+)
+
+// Options bound the search.
+type Options struct {
+	// MaxNodes limits search nodes (0 = default 2e6).
+	MaxNodes int64
+	// TimeLimit caps wall-clock search time (0 = default 10s).
+	TimeLimit time.Duration
+	// FirstSolutionOnly returns the greedy incumbent without proving
+	// optimality; used by scale experiments.
+	FirstSolutionOnly bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 2_000_000
+	}
+	if o.TimeLimit == 0 {
+		o.TimeLimit = 10 * time.Second
+	}
+	return o
+}
+
+// ErrInfeasible is returned when no feasible assignment exists within the
+// explored space (only proven when the search completes).
+var ErrInfeasible = errors.New("solver: model is infeasible")
+
+// Solve searches the model and returns the best schedule found.
+func Solve(m *model.Model, opt Options) (model.Schedule, error) {
+	opt = opt.withDefaults()
+	m.Normalize()
+	if err := m.Validate(); err != nil {
+		return model.Schedule{}, err
+	}
+	s := newState(m, opt)
+	s.search(0)
+	if s.bestSlots == nil {
+		if s.complete {
+			return model.Schedule{}, ErrInfeasible
+		}
+		return model.Schedule{}, fmt.Errorf("solver: no feasible solution within limits (%d nodes)", s.nodes)
+	}
+	sched, err := m.Evaluate(s.bestSlots)
+	if err != nil {
+		return model.Schedule{}, err
+	}
+	sched.Optimal = s.complete
+	sched.Nodes = s.nodes
+	if v := m.Check(s.bestSlots); len(v) > 0 {
+		return model.Schedule{}, fmt.Errorf("solver: internal error, produced infeasible schedule: %v", v[0])
+	}
+	return sched, nil
+}
+
+// block is the search unit: a consistency group or a singleton item.
+type block struct {
+	items  []int
+	weight int
+	// duration is the longest member duration: the block occupies
+	// [t, t+duration) (shorter members finish earlier but the block's
+	// group/uniformity footprint conservatively spans the full range).
+	duration int
+	// costConst is sum(weight_i * duration_i): placing at t costs
+	// t*weight + costConst.
+	costConst int64
+	// capUse lists, per capacity constraint set the block touches, the
+	// weight it adds at each slot offset (wOff[k] = summed weight of
+	// members still active k slots after the start).
+	capUse []capUse
+	// gcGroups lists (groupCount index, group index) memberships.
+	gcGroups [][2]int
+	// uniLo/uniHi per uniformity constraint: the block's own value range.
+	uniLo, uniHi []float64
+	// locGroups lists (localize index, group index) memberships.
+	locGroups [][2]int
+	// forbidden lists banned START slots: a start is banned when any
+	// member would occupy one of its forbidden slots (sorted).
+	forbidden []int
+	// conflictCount[t] = member-slot collisions when starting at t.
+	conflictCount map[int]int
+}
+
+type capUse struct {
+	c, set int
+	wOff   []int
+}
+
+type state struct {
+	m   *model.Model
+	opt Options
+
+	blocks []block
+	order  []int // block indexes in search order
+
+	// usage[c][set][t]
+	usage [][][]int
+	// gcActiveItems[g][group][t], gcActiveGroups[g][t]
+	gcActiveItems  [][][]int
+	gcActiveGroups [][]int
+	// uniLo/uniHi/uniHas [u][t]
+	uniLo, uniHi [][]float64
+	uniHas       [][]bool
+	// locLo/locHi/locHas [l][group]
+	locLo, locHi [][]int
+	locHas       [][]bool
+
+	assigned  []int // per block: slot or -1 skip; -2 unassigned
+	cost      int64
+	conflicts int64
+	// suffixWeight[pos] = sum of block weights from order[pos:], the O(1)
+	// optimistic lower bound on the remaining completion cost.
+	suffixWeight []int64
+
+	bestSlots []int
+	bestCost  int64
+
+	nodes    int64
+	deadline time.Time
+	complete bool
+	stopped  bool
+}
+
+func newState(m *model.Model, opt Options) *state {
+	s := &state{m: m, opt: opt, bestCost: math.MaxInt64,
+		deadline: time.Now().Add(opt.TimeLimit), complete: true}
+	n := len(m.Items)
+	T := m.NumSlots
+
+	// Build blocks from SameSlot groups; remaining items are singletons.
+	inGroup := make([]int, n)
+	for i := range inGroup {
+		inGroup[i] = -1
+	}
+	for gi, grp := range m.SameSlot {
+		for _, i := range grp {
+			if inGroup[i] != -1 && inGroup[i] != gi {
+				// Overlapping consistency groups: merge later groups into
+				// the first via union. For simplicity treat membership as
+				// belonging to the first group encountered; Validate-level
+				// merging is the translate package's job.
+				continue
+			}
+			inGroup[i] = gi
+		}
+	}
+	var blocks []block
+	seenGroup := map[int]bool{}
+	for i := 0; i < n; i++ {
+		gi := inGroup[i]
+		if gi < 0 {
+			blocks = append(blocks, block{items: []int{i}})
+			continue
+		}
+		if seenGroup[gi] {
+			continue
+		}
+		seenGroup[gi] = true
+		var items []int
+		for j := i; j < n; j++ {
+			if inGroup[j] == gi {
+				items = append(items, j)
+			}
+		}
+		blocks = append(blocks, block{items: items})
+	}
+
+	// Per-item membership maps for constraint bookkeeping.
+	type capMember struct{ c, set int }
+	capOf := make([][]capMember, n)
+	for ci, c := range m.Capacities {
+		for si, set := range c.Sets {
+			for _, i := range set {
+				capOf[i] = append(capOf[i], capMember{ci, si})
+			}
+		}
+	}
+	gcOf := make([][][2]int, n)
+	for gi, g := range m.GroupCounts {
+		for grpIdx, grp := range g.Groups {
+			for _, i := range grp {
+				gcOf[i] = append(gcOf[i], [2]int{gi, grpIdx})
+			}
+		}
+	}
+	locOf := make([][][2]int, n)
+	for li, l := range m.Localized {
+		for grpIdx, grp := range l.Groups {
+			for _, i := range grp {
+				locOf[i] = append(locOf[i], [2]int{li, grpIdx})
+			}
+		}
+	}
+
+	for bi := range blocks {
+		b := &blocks[bi]
+		capW := map[[2]int][]int{} // (c,set) -> weight per slot offset
+		gcSeen := map[[2]int]bool{}
+		locSeen := map[[2]int]bool{}
+		forb := map[int]bool{}
+		confl := map[int]int{}
+		b.duration = 1
+		b.uniLo = make([]float64, len(m.Uniform))
+		b.uniHi = make([]float64, len(m.Uniform))
+		for ui := range m.Uniform {
+			b.uniLo[ui], b.uniHi[ui] = math.Inf(1), math.Inf(-1)
+		}
+		for _, i := range b.items {
+			w := m.Weight(i)
+			d := m.Duration(i)
+			b.weight += w
+			b.costConst += int64(w) * int64(d)
+			if d > b.duration {
+				b.duration = d
+			}
+			for _, cm := range capOf[i] {
+				key := [2]int{cm.c, cm.set}
+				wOff := capW[key]
+				for len(wOff) < d {
+					wOff = append(wOff, 0)
+				}
+				for k := 0; k < d; k++ {
+					wOff[k] += w
+				}
+				capW[key] = wOff
+			}
+			for _, g := range gcOf[i] {
+				gcSeen[g] = true
+			}
+			for _, l := range locOf[i] {
+				locSeen[l] = true
+			}
+			for ui, u := range m.Uniform {
+				v := u.Values[i]
+				if v < b.uniLo[ui] {
+					b.uniLo[ui] = v
+				}
+				if v > b.uniHi[ui] {
+					b.uniHi[ui] = v
+				}
+			}
+			// A member occupying [t, t+d) bans every start t that would
+			// cover a forbidden (or zero-tolerance conflicting) slot, and
+			// accumulates collisions per start for minimize mode.
+			if i < len(m.Forbidden) {
+				for _, f := range m.Forbidden[i] {
+					for t := f - d + 1; t <= f; t++ {
+						if t >= 0 {
+							forb[t] = true
+						}
+					}
+				}
+			}
+			if i < len(m.ConflictSlots) {
+				for _, f := range m.ConflictSlots[i] {
+					for t := f - d + 1; t <= f; t++ {
+						if t < 0 {
+							continue
+						}
+						confl[t]++
+						if m.ZeroConflict {
+							forb[t] = true
+						}
+					}
+				}
+			}
+		}
+		for k, wOff := range capW {
+			b.capUse = append(b.capUse, capUse{c: k[0], set: k[1], wOff: wOff})
+		}
+		sort.Slice(b.capUse, func(x, y int) bool {
+			if b.capUse[x].c != b.capUse[y].c {
+				return b.capUse[x].c < b.capUse[y].c
+			}
+			return b.capUse[x].set < b.capUse[y].set
+		})
+		for k := range gcSeen {
+			b.gcGroups = append(b.gcGroups, k)
+		}
+		sortPairs(b.gcGroups)
+		for k := range locSeen {
+			b.locGroups = append(b.locGroups, k)
+		}
+		sortPairs(b.locGroups)
+		for t := range forb {
+			b.forbidden = append(b.forbidden, t)
+		}
+		sort.Ints(b.forbidden)
+		b.conflictCount = confl
+	}
+	s.blocks = blocks
+
+	// Search order: most-constrained first — blocks with conflicts, then
+	// larger weight, then fewer allowed slots via forbidden count.
+	s.order = make([]int, len(blocks))
+	for i := range s.order {
+		s.order[i] = i
+	}
+	sort.SliceStable(s.order, func(x, y int) bool {
+		a, b := &blocks[s.order[x]], &blocks[s.order[y]]
+		if len(a.forbidden) != len(b.forbidden) {
+			return len(a.forbidden) > len(b.forbidden)
+		}
+		if a.weight != b.weight {
+			return a.weight > b.weight
+		}
+		return s.order[x] < s.order[y]
+	})
+
+	// Constraint state.
+	s.usage = make([][][]int, len(m.Capacities))
+	for ci, c := range m.Capacities {
+		s.usage[ci] = make([][]int, len(c.Sets))
+		for si := range c.Sets {
+			s.usage[ci][si] = make([]int, c.NumBuckets(T))
+		}
+	}
+	s.gcActiveItems = make([][][]int, len(m.GroupCounts))
+	s.gcActiveGroups = make([][]int, len(m.GroupCounts))
+	for gi, g := range m.GroupCounts {
+		s.gcActiveItems[gi] = make([][]int, len(g.Groups))
+		for x := range g.Groups {
+			s.gcActiveItems[gi][x] = make([]int, T)
+		}
+		s.gcActiveGroups[gi] = make([]int, T)
+	}
+	s.uniLo = make([][]float64, len(m.Uniform))
+	s.uniHi = make([][]float64, len(m.Uniform))
+	s.uniHas = make([][]bool, len(m.Uniform))
+	for ui := range m.Uniform {
+		s.uniLo[ui] = make([]float64, T)
+		s.uniHi[ui] = make([]float64, T)
+		s.uniHas[ui] = make([]bool, T)
+	}
+	s.locLo = make([][]int, len(m.Localized))
+	s.locHi = make([][]int, len(m.Localized))
+	s.locHas = make([][]bool, len(m.Localized))
+	for li, l := range m.Localized {
+		s.locLo[li] = make([]int, len(l.Groups))
+		s.locHi[li] = make([]int, len(l.Groups))
+		s.locHas[li] = make([]bool, len(l.Groups))
+	}
+	s.assigned = make([]int, len(blocks))
+	for i := range s.assigned {
+		s.assigned[i] = -2
+	}
+	s.suffixWeight = make([]int64, len(s.order)+1)
+	for pos := len(s.order) - 1; pos >= 0; pos-- {
+		s.suffixWeight[pos] = s.suffixWeight[pos+1] + int64(blocks[s.order[pos]].weight)
+	}
+	return s
+}
+
+func sortPairs(ps [][2]int) {
+	sort.Slice(ps, func(x, y int) bool {
+		if ps[x][0] != ps[y][0] {
+			return ps[x][0] < ps[y][0]
+		}
+		return ps[x][1] < ps[y][1]
+	})
+}
+
+// feasible reports whether block b can be placed at slot t given current
+// propagated state.
+func (s *state) feasible(b *block, t int) bool {
+	if t+b.duration > s.m.NumSlots {
+		return false
+	}
+	if containsSorted(b.forbidden, t) {
+		return false
+	}
+	for _, cu := range b.capUse {
+		c := s.m.Capacities[cu.c]
+		// A multi-slot placement can land several offsets in one budget
+		// bucket (a 3-window change inside one week): accumulate the
+		// within-placement contribution per bucket before comparing.
+		for k := range cu.wOff {
+			bk := c.Bucket(t + k)
+			add := 0
+			for k2 := 0; k2 <= k; k2++ {
+				if c.Bucket(t+k2) == bk {
+					add += cu.wOff[k2]
+				}
+			}
+			if s.usage[cu.c][cu.set][bk]+add > c.Cap {
+				return false
+			}
+		}
+	}
+	for _, g := range b.gcGroups {
+		gi, grp := g[0], g[1]
+		for k := 0; k < b.duration; k++ {
+			if s.gcActiveItems[gi][grp][t+k] == 0 &&
+				s.gcActiveGroups[gi][t+k] >= s.m.GroupCounts[gi].Cap {
+				return false
+			}
+		}
+	}
+	for ui := range s.m.Uniform {
+		for k := 0; k < b.duration; k++ {
+			lo, hi := b.uniLo[ui], b.uniHi[ui]
+			if s.uniHas[ui][t+k] {
+				if s.uniLo[ui][t+k] < lo {
+					lo = s.uniLo[ui][t+k]
+				}
+				if s.uniHi[ui][t+k] > hi {
+					hi = s.uniHi[ui][t+k]
+				}
+			}
+			if hi-lo > s.m.Uniform[ui].MaxDist {
+				return false
+			}
+		}
+	}
+	for _, lg := range b.locGroups {
+		li, grp := lg[0], lg[1]
+		newLo, newHi := t, t+b.duration-1
+		if s.locHas[li][grp] {
+			if s.locLo[li][grp] < newLo {
+				newLo = s.locLo[li][grp]
+			}
+			if s.locHi[li][grp] > newHi {
+				newHi = s.locHi[li][grp]
+			}
+		}
+		for other := range s.m.Localized[li].Groups {
+			if other == grp || !s.locHas[li][other] {
+				continue
+			}
+			if newLo < s.locHi[li][other] && s.locLo[li][other] < newHi {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// undoRec captures reversible state for one placement.
+type undoRec struct {
+	uniPrev []uniSnap
+	locPrev []locSnap
+}
+type uniSnap struct {
+	ui, slot int
+	lo, hi   float64
+	has      bool
+}
+type locSnap struct {
+	li, grp int
+	lo, hi  int
+	has     bool
+}
+
+// place applies block b at slot t and returns the undo record plus the
+// added cost.
+func (s *state) place(bi int, b *block, t int) (undoRec, int64) {
+	var u undoRec
+	for _, cu := range b.capUse {
+		c := s.m.Capacities[cu.c]
+		for k, w := range cu.wOff {
+			s.usage[cu.c][cu.set][c.Bucket(t+k)] += w
+		}
+	}
+	for _, g := range b.gcGroups {
+		gi, grp := g[0], g[1]
+		for k := 0; k < b.duration; k++ {
+			if s.gcActiveItems[gi][grp][t+k] == 0 {
+				s.gcActiveGroups[gi][t+k]++
+			}
+			s.gcActiveItems[gi][grp][t+k] += len(b.items)
+		}
+	}
+	for ui := range s.m.Uniform {
+		for k := 0; k < b.duration; k++ {
+			tt := t + k
+			u.uniPrev = append(u.uniPrev, uniSnap{ui: ui, slot: tt,
+				lo: s.uniLo[ui][tt], hi: s.uniHi[ui][tt], has: s.uniHas[ui][tt]})
+			lo, hi := b.uniLo[ui], b.uniHi[ui]
+			if s.uniHas[ui][tt] {
+				if s.uniLo[ui][tt] < lo {
+					lo = s.uniLo[ui][tt]
+				}
+				if s.uniHi[ui][tt] > hi {
+					hi = s.uniHi[ui][tt]
+				}
+			}
+			s.uniLo[ui][tt], s.uniHi[ui][tt], s.uniHas[ui][tt] = lo, hi, true
+		}
+	}
+	for _, lg := range b.locGroups {
+		li, grp := lg[0], lg[1]
+		u.locPrev = append(u.locPrev, locSnap{li: li, grp: grp,
+			lo: s.locLo[li][grp], hi: s.locHi[li][grp], has: s.locHas[li][grp]})
+		lo, hi := t, t+b.duration-1
+		if s.locHas[li][grp] {
+			if s.locLo[li][grp] < lo {
+				lo = s.locLo[li][grp]
+			}
+			if s.locHi[li][grp] > hi {
+				hi = s.locHi[li][grp]
+			}
+		}
+		s.locLo[li][grp], s.locHi[li][grp], s.locHas[li][grp] = lo, hi, true
+	}
+	s.assigned[bi] = t
+	added := int64(t)*int64(b.weight) + b.costConst
+	if !s.m.ZeroConflict {
+		if c := b.conflictCount[t]; c > 0 {
+			s.conflicts += int64(c)
+			added += int64(s.m.BigM) * int64(c)
+		}
+	}
+	s.cost += added
+	return u, added
+}
+
+// unplace reverses place.
+func (s *state) unplace(bi int, b *block, t int, u undoRec, added int64) {
+	for _, cu := range b.capUse {
+		c := s.m.Capacities[cu.c]
+		for k, w := range cu.wOff {
+			s.usage[cu.c][cu.set][c.Bucket(t+k)] -= w
+		}
+	}
+	for _, g := range b.gcGroups {
+		gi, grp := g[0], g[1]
+		for k := 0; k < b.duration; k++ {
+			s.gcActiveItems[gi][grp][t+k] -= len(b.items)
+			if s.gcActiveItems[gi][grp][t+k] == 0 {
+				s.gcActiveGroups[gi][t+k]--
+			}
+		}
+	}
+	for _, snap := range u.uniPrev {
+		s.uniLo[snap.ui][snap.slot], s.uniHi[snap.ui][snap.slot], s.uniHas[snap.ui][snap.slot] = snap.lo, snap.hi, snap.has
+	}
+	for _, snap := range u.locPrev {
+		s.locLo[snap.li][snap.grp], s.locHi[snap.li][snap.grp], s.locHas[snap.li][snap.grp] = snap.lo, snap.hi, snap.has
+	}
+	s.assigned[bi] = -2
+	s.cost -= added
+	if !s.m.ZeroConflict {
+		if c := b.conflictCount[t]; c > 0 {
+			s.conflicts -= int64(c)
+		}
+	}
+}
+
+// lowerBoundRemaining is an optimistic completion for unassigned blocks:
+// each at slot 0 with no conflicts.
+func (s *state) lowerBoundRemaining(pos int) int64 {
+	return s.suffixWeight[pos]
+}
+
+func (s *state) search(pos int) {
+	if s.stopped {
+		return
+	}
+	s.nodes++
+	if s.nodes&1023 == 0 && time.Now().After(s.deadline) {
+		s.stopped = true
+		s.complete = false
+		return
+	}
+	if s.nodes > s.opt.MaxNodes {
+		s.stopped = true
+		s.complete = false
+		return
+	}
+	if pos == len(s.order) {
+		if s.cost < s.bestCost {
+			s.bestCost = s.cost
+			s.bestSlots = s.extractSlots()
+			if s.opt.FirstSolutionOnly {
+				s.stopped = true
+				s.complete = false
+			}
+		}
+		return
+	}
+	if s.cost+s.lowerBoundRemaining(pos) >= s.bestCost {
+		return
+	}
+	bi := s.order[pos]
+	b := &s.blocks[bi]
+	for t := 0; t < s.m.NumSlots; t++ {
+		if !s.feasible(b, t) {
+			continue
+		}
+		u, added := s.place(bi, b, t)
+		s.search(pos + 1)
+		s.unplace(bi, b, t, u, added)
+		if s.stopped {
+			return
+		}
+	}
+	if !s.m.RequireAll {
+		// Leave the block unscheduled (leftover).
+		s.assigned[bi] = -1
+		added := int64(s.m.SkipPenalty) * int64(b.weight)
+		s.cost += added
+		s.search(pos + 1)
+		s.cost -= added
+		s.assigned[bi] = -2
+	}
+}
+
+func (s *state) extractSlots() []int {
+	slots := make([]int, len(s.m.Items))
+	for i := range slots {
+		slots[i] = -1
+	}
+	for bi, b := range s.blocks {
+		t := s.assigned[bi]
+		if t == -2 {
+			t = -1
+		}
+		for _, i := range b.items {
+			slots[i] = t
+		}
+	}
+	return slots
+}
+
+func containsSorted(sorted []int, x int) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case sorted[mid] < x:
+			lo = mid + 1
+		case sorted[mid] > x:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package testbed
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Handler exposes the testbed's building blocks over REST: POST
+// /api/bb/<block>[/<nftype>] with a JSON object of string arguments
+// returns a JSON object of string outputs. This is the "REST API" face of
+// every building block in the catalog (Section 3.1); cmd/cornetd serves it.
+func (tb *Testbed) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/bb/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		args := map[string]string{}
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &args); err != nil {
+				http.Error(w, "decode args: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		out, err := tb.Invoke(r.Context(), r.URL.Path, args)
+		if err != nil {
+			writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status": "ok",
+			"nfs":    fmt.Sprint(tb.Len()),
+		})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// HTTPInvoker dispatches building-block invocations over real HTTP to a
+// base URL serving Handler — an orchestrator.Invoker for remote testbeds.
+type HTTPInvoker struct {
+	BaseURL string
+	Client  *http.Client
+}
+
+// Invoke POSTs the args to baseURL+api and decodes the outputs.
+func (h *HTTPInvoker) Invoke(ctx context.Context, api string, args map[string]string) (map[string]string, error) {
+	client := h.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	payload, err := json.Marshal(args)
+	if err != nil {
+		return nil, err
+	}
+	url := strings.TrimSuffix(h.BaseURL, "/") + api
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(payload)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &out); err != nil {
+			return nil, fmt.Errorf("testbed: decode response from %s: %w", api, err)
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		if msg := out["error"]; msg != "" {
+			return nil, fmt.Errorf("testbed: %s", msg)
+		}
+		return nil, fmt.Errorf("testbed: %s returned %s", api, resp.Status)
+	}
+	return out, nil
+}

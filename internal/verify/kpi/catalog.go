@@ -1,0 +1,138 @@
+package kpi
+
+import (
+	"fmt"
+
+	"cornet/internal/kpigen"
+)
+
+// This file builds the synthetic 349-equation KPI catalog whose group and
+// join-depth structure reproduces Table 5 of the paper exactly:
+//
+//	Group      KPIs  Tables  NoJoin  2-way  3-way
+//	Scorecard     9       6       6      0      0
+//	Level-1      58      17      14      3      0
+//	Level-2     123      14      10      3      1
+//	Level-3     159      17      16      1      0
+//	All         349      48      40      7      1
+//
+// The "All" row deduplicates query tables shared across groups: six of the
+// Level-3 single-source tables reuse the scorecard sources, so
+// 6+14+10+16 = 46 single-source combinations collapse to 40 distinct.
+
+// catalogGroupSpec describes one group's synthetic layout.
+type catalogGroupSpec struct {
+	group   Group
+	kpis    int
+	singles []string    // single-source tables
+	pairs   [][2]string // 2-way join table pairs
+	triples [][3]string // 3-way join table triples
+}
+
+func catalogSpec() []catalogGroupSpec {
+	scorecardTables := []string{"acc", "ret", "thp", "lat", "ho", "volte"}
+	l1Tables := make([]string, 14)
+	for i := range l1Tables {
+		l1Tables[i] = fmt.Sprintf("l1t%02d", i+1)
+	}
+	l2Tables := make([]string, 10)
+	for i := range l2Tables {
+		l2Tables[i] = fmt.Sprintf("l2t%02d", i+1)
+	}
+	l3Tables := make([]string, 16)
+	// Six Level-3 single-source tables reuse the scorecard sources so that
+	// the All row dedupes 46 -> 40.
+	copy(l3Tables, scorecardTables)
+	for i := 6; i < 16; i++ {
+		l3Tables[i] = fmt.Sprintf("l3t%02d", i+1)
+	}
+	return []catalogGroupSpec{
+		{group: Scorecard, kpis: 9, singles: scorecardTables},
+		{group: Level1, kpis: 58, singles: l1Tables,
+			pairs: [][2]string{{"l1t01", "l1t02"}, {"l1t03", "l1t04"}, {"l1t05", "l1t06"}}},
+		{group: Level2, kpis: 123, singles: l2Tables,
+			pairs:   [][2]string{{"l2t01", "l2t02"}, {"l2t03", "l2t04"}, {"l2t05", "l2t06"}},
+			triples: [][3]string{{"l2t07", "l2t08", "l2t09"}}},
+		{group: Level3, kpis: 159, singles: l3Tables,
+			pairs: [][2]string{{"l3t07", "l3t08"}}},
+	}
+}
+
+// SeedCatalog populates a registry with the synthetic 349-KPI catalog. The
+// month parameter stamps every definition (use different months and
+// re-definitions to model Fig. 6 churn). Equations are success-ratio or
+// rate style over table-qualified counters; odd-indexed KPIs in each group
+// are failure-style (lower is better) so verdict orientation is exercised.
+func SeedCatalog(r *Registry, month int) error {
+	for _, spec := range catalogSpec() {
+		// Round-robin KPI equations over the group's query tables.
+		type combo struct {
+			tables []string
+		}
+		var combos []combo
+		for _, s := range spec.singles {
+			combos = append(combos, combo{[]string{s}})
+		}
+		for _, p := range spec.pairs {
+			combos = append(combos, combo{[]string{p[0], p[1]}})
+		}
+		for _, tr := range spec.triples {
+			combos = append(combos, combo{[]string{tr[0], tr[1], tr[2]}})
+		}
+		for k := 0; k < spec.kpis; k++ {
+			c := combos[k%len(combos)]
+			name := fmt.Sprintf("%s-kpi-%03d", spec.group, k+1)
+			higher := k%2 == 0
+			var eq string
+			switch len(c.tables) {
+			case 1:
+				eq = fmt.Sprintf("100 * %s.success_%d / %s.attempts_%d",
+					c.tables[0], k%4, c.tables[0], k%4)
+			case 2:
+				eq = fmt.Sprintf("(%s.num_%d + %s.num_%d) / (%s.den_%d + 1)",
+					c.tables[0], k%4, c.tables[1], k%4, c.tables[0], k%4)
+			default:
+				eq = fmt.Sprintf("%s.num_%d / (%s.den_%d + %s.den_%d + 1)",
+					c.tables[0], k%4, c.tables[1], k%4, c.tables[2], k%4)
+			}
+			if _, err := r.Define(name, spec.group, eq, higher, month); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CatalogCounterSpecs returns kpigen counter specifications covering every
+// counter the seeded catalog references, so benchmark datasets can evaluate
+// all 349 equations.
+func CatalogCounterSpecs() []kpigen.CounterSpec {
+	seen := map[string]bool{}
+	var out []kpigen.CounterSpec
+	add := func(name string, base float64) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, kpigen.CounterSpec{
+				Name: name, Base: base, DailyAmplitude: 0.3, Noise: 0.08,
+			})
+		}
+	}
+	for _, spec := range catalogSpec() {
+		tables := append([]string(nil), spec.singles...)
+		for _, p := range spec.pairs {
+			tables = append(tables, p[0], p[1])
+		}
+		for _, tr := range spec.triples {
+			tables = append(tables, tr[0], tr[1], tr[2])
+		}
+		for _, t := range tables {
+			for k := 0; k < 4; k++ {
+				add(fmt.Sprintf("%s.success_%d", t, k), 950)
+				add(fmt.Sprintf("%s.attempts_%d", t, k), 1000)
+				add(fmt.Sprintf("%s.num_%d", t, k), 500)
+				add(fmt.Sprintf("%s.den_%d", t, k), 100)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package stats
+
+// Level-shift (changepoint) detection: Fig. 2 of the paper identifies
+// "upward/downward level changes" in per-carrier KPI series. LevelShifts
+// scans a series with a sliding pre/post window pair, flags points where
+// the robust rank-order test rejects equal medians with a material relative
+// shift, and merges consecutive detections into one changepoint at the
+// strongest position.
+
+import "math"
+
+// Shift is one detected level change.
+type Shift struct {
+	// At is the sample index where the new level begins.
+	At int
+	// Before and After are the window medians around the change.
+	Before, After float64
+	// Rel is the relative change (After-Before)/|Before|.
+	Rel float64
+	// PValue is the rank-order test's p-value at the detection point.
+	PValue float64
+}
+
+// Up reports whether the level moved upward.
+func (s Shift) Up() bool { return s.After > s.Before }
+
+// LevelShifts detects level changes in a series. window is the pre/post
+// comparison width in samples; alpha the significance level; minRel the
+// material-shift floor (e.g. 0.1 = 10%). NaN samples are skipped inside
+// windows. Consecutive significant positions collapse into the single
+// strongest (lowest-p, largest-shift) changepoint.
+func LevelShifts(series []float64, window int, alpha, minRel float64) []Shift {
+	if window < 3 || len(series) < 2*window {
+		return nil
+	}
+	var out []Shift
+	var run *Shift // strongest detection in the current consecutive run
+	flush := func() {
+		if run != nil {
+			out = append(out, *run)
+			run = nil
+		}
+	}
+	for t := window; t+window <= len(series); t++ {
+		pre := dropNaN(series[t-window : t])
+		post := dropNaN(series[t : t+window])
+		if len(pre) < 3 || len(post) < 3 {
+			flush()
+			continue
+		}
+		r, err := RobustRankOrder(pre, post)
+		if err != nil {
+			flush()
+			continue
+		}
+		rel := 0.0
+		if r.MedianA != 0 {
+			rel = (r.MedianB - r.MedianA) / math.Abs(r.MedianA)
+		} else {
+			rel = r.MedianB - r.MedianA
+		}
+		if !r.Significant(alpha) || math.Abs(rel) < minRel {
+			flush()
+			continue
+		}
+		cand := Shift{At: t, Before: r.MedianA, After: r.MedianB, Rel: rel, PValue: r.PValue}
+		if run == nil {
+			run = &cand
+			continue
+		}
+		// Same run: keep the strongest point (larger |rel|, ties by p).
+		if math.Abs(cand.Rel) > math.Abs(run.Rel) ||
+			(math.Abs(cand.Rel) == math.Abs(run.Rel) && cand.PValue < run.PValue) {
+			run = &cand
+		}
+	}
+	flush()
+	return out
+}
+
+func dropNaN(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func step(n, at int, before, after, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		level := before
+		if i >= at {
+			level = after
+		}
+		out[i] = level * (1 + noise*rng.NormFloat64())
+	}
+	return out
+}
+
+func TestLevelShiftsSingleStep(t *testing.T) {
+	s := step(200, 100, 10, 13, 0.03, 1)
+	shifts := LevelShifts(s, 20, 0.001, 0.1)
+	if len(shifts) != 1 {
+		t.Fatalf("shifts = %+v", shifts)
+	}
+	sh := shifts[0]
+	if !sh.Up() {
+		t.Fatalf("direction wrong: %+v", sh)
+	}
+	if sh.At < 90 || sh.At > 110 {
+		t.Fatalf("location = %d, want ~100", sh.At)
+	}
+	if sh.Rel < 0.2 || sh.Rel > 0.4 {
+		t.Fatalf("rel = %v, want ~0.3", sh.Rel)
+	}
+}
+
+func TestLevelShiftsDownward(t *testing.T) {
+	s := step(200, 120, 20, 14, 0.03, 2)
+	shifts := LevelShifts(s, 20, 0.001, 0.1)
+	if len(shifts) != 1 || shifts[0].Up() {
+		t.Fatalf("shifts = %+v", shifts)
+	}
+	if shifts[0].Rel > -0.2 {
+		t.Fatalf("rel = %v", shifts[0].Rel)
+	}
+}
+
+func TestLevelShiftsNoFalsePositives(t *testing.T) {
+	s := step(300, 0, 10, 10, 0.05, 3) // stationary
+	if shifts := LevelShifts(s, 20, 0.001, 0.1); len(shifts) != 0 {
+		t.Fatalf("false positives: %+v", shifts)
+	}
+}
+
+func TestLevelShiftsTwoSteps(t *testing.T) {
+	// Up at 100, back down at 200.
+	s := append(step(200, 100, 10, 15, 0.03, 4), step(100, 0, 10, 10, 0.03, 5)...)
+	shifts := LevelShifts(s, 20, 0.001, 0.1)
+	if len(shifts) != 2 {
+		t.Fatalf("shifts = %+v", shifts)
+	}
+	if !shifts[0].Up() || shifts[1].Up() {
+		t.Fatalf("directions = %+v", shifts)
+	}
+}
+
+func TestLevelShiftsHandlesMissingData(t *testing.T) {
+	s := step(200, 100, 10, 14, 0.03, 6)
+	for i := 5; i < len(s); i += 17 {
+		s[i] = math.NaN()
+	}
+	shifts := LevelShifts(s, 20, 0.001, 0.1)
+	if len(shifts) != 1 {
+		t.Fatalf("shifts with NaNs = %+v", shifts)
+	}
+}
+
+func TestLevelShiftsDegenerateInputs(t *testing.T) {
+	if got := LevelShifts(nil, 20, 0.01, 0.1); got != nil {
+		t.Fatalf("nil series = %v", got)
+	}
+	if got := LevelShifts(make([]float64, 10), 20, 0.01, 0.1); got != nil {
+		t.Fatalf("short series = %v", got)
+	}
+	if got := LevelShifts(make([]float64, 100), 2, 0.01, 0.1); got != nil {
+		t.Fatalf("tiny window = %v", got)
+	}
+	// All-NaN series.
+	nan := make([]float64, 100)
+	for i := range nan {
+		nan[i] = math.NaN()
+	}
+	if got := LevelShifts(nan, 10, 0.01, 0.1); got != nil {
+		t.Fatalf("all-NaN = %v", got)
+	}
+}

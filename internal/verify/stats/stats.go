@@ -1,0 +1,301 @@
+// Package stats provides the robust statistical primitives behind CORNET's
+// change impact verifier (Section 3.5.2): medians and MAD, Theil-Sen robust
+// regression (the S = beta*C study/control model), the robust rank-order
+// (Fligner-Policello) test of medians, the Wilcoxon-Mann-Whitney test, and
+// the time alignment used for staggered roll-outs (Mercury-style).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a test lacks enough observations.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean; NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1); NaN for n < 2.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// Median returns the sample median; NaN for empty input.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MAD returns the median absolute deviation scaled by 1.4826 for
+// consistency with the standard deviation under normality.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - m)
+	}
+	return 1.4826 * Median(dev)
+}
+
+// Quantile returns the q-th sample quantile (0<=q<=1) with linear
+// interpolation; NaN for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// NormalCDF is the standard normal cumulative distribution function.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// TheilSen fits y = alpha + beta*x robustly: beta is the median of all
+// pairwise slopes and alpha the median residual intercept. It implements
+// the robust regression model S = beta*C between study and control
+// time-series (Section 3.5.2). Requires >= 2 points with distinct x.
+func TheilSen(x, y []float64) (alpha, beta float64, err error) {
+	if len(x) != len(y) {
+		return 0, 0, errors.New("stats: x/y length mismatch")
+	}
+	n := len(x)
+	if n < 2 {
+		return 0, 0, ErrInsufficientData
+	}
+	var slopes []float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if dx := x[j] - x[i]; dx != 0 {
+				slopes = append(slopes, (y[j]-y[i])/dx)
+			}
+		}
+	}
+	if len(slopes) == 0 {
+		return 0, 0, ErrInsufficientData
+	}
+	beta = Median(slopes)
+	resid := make([]float64, n)
+	for i := 0; i < n; i++ {
+		resid[i] = y[i] - beta*x[i]
+	}
+	alpha = Median(resid)
+	return alpha, beta, nil
+}
+
+// TestResult is the outcome of a two-sample location test.
+type TestResult struct {
+	Statistic float64 // z-like statistic; sign: positive when A > B
+	PValue    float64 // two-sided
+	// MedianA/MedianB aid interpretation of direction and magnitude.
+	MedianA, MedianB float64
+}
+
+// Significant reports whether the two-sided p-value beats alpha.
+func (r TestResult) Significant(alpha float64) bool { return r.PValue < alpha }
+
+// RobustRankOrder runs the Fligner-Policello robust rank-order test of
+// medians — the paper's choice for comparing predicted vs measured study
+// group KPI series [26,35,40,53]. Unlike Wilcoxon-Mann-Whitney it does not
+// assume equal variances or shapes. Requires at least 3 observations per
+// sample.
+func RobustRankOrder(a, b []float64) (TestResult, error) {
+	m, n := len(a), len(b)
+	if m < 3 || n < 3 {
+		return TestResult{}, ErrInsufficientData
+	}
+	// placement P(a_i) = #{b_j < a_i} + 0.5*#{b_j == a_i}, and vice versa.
+	pa := placements(a, b)
+	pb := placements(b, a)
+	meanPA, meanPB := Mean(pa), Mean(pb)
+	var ssA, ssB float64
+	for _, p := range pa {
+		d := p - meanPA
+		ssA += d * d
+	}
+	for _, p := range pb {
+		d := p - meanPB
+		ssB += d * d
+	}
+	num := float64(m)*meanPA - float64(n)*meanPB
+	den := 2 * math.Sqrt(ssA+ssB+meanPA*meanPB)
+	res := TestResult{MedianA: Median(a), MedianB: Median(b)}
+	if den == 0 {
+		// Degenerate: identical constant samples -> no evidence of
+		// difference; fully separated samples -> maximal evidence.
+		if meanPA == meanPB {
+			res.Statistic, res.PValue = 0, 1
+			return res, nil
+		}
+		res.Statistic = math.Inf(sign(num))
+		res.PValue = 0
+		return res, nil
+	}
+	z := num / den
+	res.Statistic = z
+	res.PValue = 2 * (1 - NormalCDF(math.Abs(z)))
+	return res, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+func placements(a, b []float64) []float64 {
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sb)
+	out := make([]float64, len(a))
+	for i, x := range a {
+		lo := sort.SearchFloat64s(sb, x)
+		hi := sort.Search(len(sb), func(k int) bool { return sb[k] > x })
+		out[i] = float64(lo) + 0.5*float64(hi-lo)
+	}
+	return out
+}
+
+// MannWhitney runs the Wilcoxon-Mann-Whitney U test with midranks for ties
+// and a normal approximation with tie correction. Requires >= 3 per sample.
+func MannWhitney(a, b []float64) (TestResult, error) {
+	m, n := len(a), len(b)
+	if m < 3 || n < 3 {
+		return TestResult{}, ErrInsufficientData
+	}
+	type obs struct {
+		v    float64
+		from int // 0 = a, 1 = b
+	}
+	all := make([]obs, 0, m+n)
+	for _, x := range a {
+		all = append(all, obs{x, 0})
+	}
+	for _, x := range b {
+		all = append(all, obs{x, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	// Midranks with tie groups.
+	ranks := make([]float64, len(all))
+	var tieCorrection float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		r := float64(i+j+1) / 2 // average of ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = r
+		}
+		t := float64(j - i)
+		tieCorrection += t*t*t - t
+		i = j
+	}
+	var ra float64
+	for i, o := range all {
+		if o.from == 0 {
+			ra += ranks[i]
+		}
+	}
+	u := ra - float64(m)*float64(m+1)/2
+	mu := float64(m) * float64(n) / 2
+	N := float64(m + n)
+	sigma2 := float64(m) * float64(n) / 12 * (N + 1 - tieCorrection/(N*(N-1)))
+	res := TestResult{MedianA: Median(a), MedianB: Median(b)}
+	if sigma2 <= 0 {
+		res.Statistic, res.PValue = 0, 1
+		return res, nil
+	}
+	z := (u - mu) / math.Sqrt(sigma2)
+	res.Statistic = z
+	res.PValue = 2 * (1 - NormalCDF(math.Abs(z)))
+	return res, nil
+}
+
+// AlignSeries time-aligns per-instance series around each instance's change
+// time for staggered roll-outs: output index k corresponds to relative time
+// k - preLen (so index preLen is the first post-change sample). Instances
+// whose window would exceed their series bounds are skipped. When normalize
+// is true each instance's series is divided by its pre-change median
+// (Mercury-style normalization), making instances with different traffic
+// scales comparable. The aligned series is the per-relative-time median
+// across instances; the count reports contributing instances.
+func AlignSeries(series map[string][]float64, changeAt map[string]int, preLen, postLen int, normalize bool) (aligned []float64, contributing int, err error) {
+	if preLen <= 0 || postLen <= 0 {
+		return nil, 0, errors.New("stats: preLen and postLen must be positive")
+	}
+	width := preLen + postLen
+	cols := make([][]float64, width)
+	for id, s := range series {
+		t, ok := changeAt[id]
+		if !ok {
+			continue
+		}
+		if t-preLen < 0 || t+postLen > len(s) {
+			continue
+		}
+		window := s[t-preLen : t+postLen]
+		scale := 1.0
+		if normalize {
+			pm := Median(window[:preLen])
+			if pm == 0 || math.IsNaN(pm) {
+				continue
+			}
+			scale = pm
+		}
+		for k, v := range window {
+			cols[k] = append(cols[k], v/scale)
+		}
+		contributing++
+	}
+	if contributing == 0 {
+		return nil, 0, ErrInsufficientData
+	}
+	aligned = make([]float64, width)
+	for k, col := range cols {
+		aligned[k] = Median(col)
+	}
+	return aligned, contributing, nil
+}

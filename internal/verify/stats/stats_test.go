@@ -1,0 +1,300 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestBasics(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if got := Mean(xs); !almost(got, 3.875, 1e-9) {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Median(xs); !almost(got, 3.5, 1e-9) {
+		t.Fatalf("Median = %v", got)
+	}
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Fatalf("odd Median = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Median(nil)) || !math.IsNaN(StdDev([]float64{1})) {
+		t.Fatal("empty-input NaN contract broken")
+	}
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almost(got, 2.138, 1e-3) {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("Q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 9 {
+		t.Fatalf("Q1 = %v", got)
+	}
+	if got := Quantile([]float64{1, 2, 3, 4}, 0.5); !almost(got, 2.5, 1e-9) {
+		t.Fatalf("Q.5 = %v", got)
+	}
+}
+
+func TestMADRobustToOutliers(t *testing.T) {
+	clean := []float64{10, 11, 9, 10, 10, 11, 9}
+	dirty := append(append([]float64{}, clean...), 1000)
+	if MAD(dirty) > 5*MAD(clean)+1 {
+		t.Fatalf("MAD not robust: %v vs %v", MAD(dirty), MAD(clean))
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5}, {1.96, 0.975}, {-1.96, 0.025}, {3, 0.99865},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.z); !almost(got, c.want, 1e-3) {
+			t.Fatalf("CDF(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestTheilSenExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{3, 5, 7, 9, 11} // y = 1 + 2x
+	a, b, err := TheilSen(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(b, 2, 1e-9) || !almost(a, 1, 1e-9) {
+		t.Fatalf("alpha=%v beta=%v", a, b)
+	}
+}
+
+func TestTheilSenRobustToOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var x, y []float64
+	for i := 0; i < 50; i++ {
+		xv := float64(i)
+		yv := 2 + 0.5*xv + rng.NormFloat64()*0.1
+		x = append(x, xv)
+		y = append(y, yv)
+	}
+	// Corrupt 10% with gross outliers.
+	for i := 0; i < 5; i++ {
+		y[i*10] += 500
+	}
+	_, b, err := TheilSen(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(b, 0.5, 0.05) {
+		t.Fatalf("beta = %v, want ~0.5 despite outliers", b)
+	}
+}
+
+func TestTheilSenErrors(t *testing.T) {
+	if _, _, err := TheilSen([]float64{1}, []float64{1}); err != ErrInsufficientData {
+		t.Fatalf("short input: %v", err)
+	}
+	if _, _, err := TheilSen([]float64{1, 1}, []float64{1, 2}); err != ErrInsufficientData {
+		t.Fatalf("constant x: %v", err)
+	}
+	if _, _, err := TheilSen([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestRobustRankOrderDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var a, b []float64
+	for i := 0; i < 40; i++ {
+		a = append(a, 10+rng.NormFloat64())
+		b = append(b, 13+rng.NormFloat64()) // clear shift
+	}
+	res, err := RobustRankOrder(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.01) {
+		t.Fatalf("shift not detected: %+v", res)
+	}
+	if res.Statistic >= 0 {
+		t.Fatalf("direction wrong: %v", res.Statistic)
+	}
+}
+
+func TestRobustRankOrderNoShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var a, b []float64
+	for i := 0; i < 60; i++ {
+		a = append(a, 10+rng.NormFloat64())
+		b = append(b, 10+rng.NormFloat64())
+	}
+	res, err := RobustRankOrder(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant(0.01) {
+		t.Fatalf("false positive: %+v", res)
+	}
+}
+
+func TestRobustRankOrderUnequalVariances(t *testing.T) {
+	// The FP test's reason to exist: unequal spreads with equal medians.
+	rng := rand.New(rand.NewSource(3))
+	var a, b []float64
+	for i := 0; i < 80; i++ {
+		a = append(a, 10+rng.NormFloat64()*0.5)
+		b = append(b, 10+rng.NormFloat64()*5)
+	}
+	res, err := RobustRankOrder(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant(0.01) {
+		t.Fatalf("variance difference mistaken for median shift: %+v", res)
+	}
+}
+
+func TestRobustRankOrderDegenerate(t *testing.T) {
+	// Identical constants: p = 1.
+	res, err := RobustRankOrder([]float64{5, 5, 5}, []float64{5, 5, 5})
+	if err != nil || res.PValue != 1 {
+		t.Fatalf("identical constants: %+v, %v", res, err)
+	}
+	// Fully separated constants: p = 0.
+	res, err = RobustRankOrder([]float64{1, 1, 1}, []float64{9, 9, 9})
+	if err != nil || res.PValue != 0 {
+		t.Fatalf("separated constants: %+v, %v", res, err)
+	}
+	if _, err := RobustRankOrder([]float64{1, 2}, []float64{1, 2, 3}); err != ErrInsufficientData {
+		t.Fatalf("short sample: %v", err)
+	}
+}
+
+func TestMannWhitneyShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var a, b []float64
+	for i := 0; i < 30; i++ {
+		a = append(a, rng.NormFloat64())
+		b = append(b, 2+rng.NormFloat64())
+	}
+	res, err := MannWhitney(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.01) {
+		t.Fatalf("shift not detected: %+v", res)
+	}
+	// With ties.
+	res2, err := MannWhitney([]float64{1, 1, 2, 2, 3}, []float64{1, 2, 2, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Significant(0.05) {
+		t.Fatalf("tie handling false positive: %+v", res2)
+	}
+}
+
+// Property: both tests are symmetric — swapping samples flips the statistic
+// sign and keeps the p-value.
+func TestTestSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 15)
+		b := make([]float64, 20)
+		for i := range a {
+			a[i] = rng.NormFloat64() * 3
+		}
+		for i := range b {
+			b[i] = 1 + rng.NormFloat64()
+		}
+		r1, err1 := RobustRankOrder(a, b)
+		r2, err2 := RobustRankOrder(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if !almost(r1.PValue, r2.PValue, 1e-9) || !almost(r1.Statistic, -r2.Statistic, 1e-9) {
+			return false
+		}
+		m1, e1 := MannWhitney(a, b)
+		m2, e2 := MannWhitney(b, a)
+		if e1 != nil || e2 != nil {
+			return false
+		}
+		return almost(m1.PValue, m2.PValue, 1e-9) && almost(m1.Statistic, -m2.Statistic, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignSeriesStaggered(t *testing.T) {
+	// Three instances changed at different times; each has a level shift
+	// from 10 to 20 at its change point. Alignment should recover a clean
+	// step at the boundary.
+	series := map[string][]float64{}
+	changeAt := map[string]int{}
+	for i, ct := range []int{5, 8, 11} {
+		s := make([]float64, 20)
+		for t := range s {
+			if t < ct {
+				s[t] = 10
+			} else {
+				s[t] = 20
+			}
+		}
+		id := string(rune('a' + i))
+		series[id] = s
+		changeAt[id] = ct
+	}
+	aligned, n, err := AlignSeries(series, changeAt, 4, 4, false)
+	if err != nil || n != 3 {
+		t.Fatalf("aligned=%v n=%d err=%v", aligned, n, err)
+	}
+	for k := 0; k < 4; k++ {
+		if aligned[k] != 10 {
+			t.Fatalf("pre[%d] = %v", k, aligned[k])
+		}
+	}
+	for k := 4; k < 8; k++ {
+		if aligned[k] != 20 {
+			t.Fatalf("post[%d] = %v", k, aligned[k])
+		}
+	}
+}
+
+func TestAlignSeriesNormalization(t *testing.T) {
+	// Two instances with different traffic scales but the same relative
+	// change (x2): normalization makes them identical.
+	series := map[string][]float64{
+		"small": {10, 10, 10, 20, 20, 20},
+		"large": {1000, 1000, 1000, 2000, 2000, 2000},
+	}
+	changeAt := map[string]int{"small": 3, "large": 3}
+	aligned, n, err := AlignSeries(series, changeAt, 3, 3, true)
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if !almost(aligned[0], 1, 1e-9) || !almost(aligned[3], 2, 1e-9) {
+		t.Fatalf("aligned = %v", aligned)
+	}
+}
+
+func TestAlignSeriesSkipsShortWindows(t *testing.T) {
+	series := map[string][]float64{
+		"ok":    {1, 1, 1, 2, 2, 2},
+		"early": {1, 2, 2, 2, 2, 2}, // change at 1: no room for pre window
+		"nochg": {1, 1, 1, 1, 1, 1}, // missing changeAt entry
+	}
+	changeAt := map[string]int{"ok": 3, "early": 1}
+	_, n, err := AlignSeries(series, changeAt, 3, 3, false)
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	// All skipped -> ErrInsufficientData.
+	if _, _, err := AlignSeries(series, map[string]int{}, 3, 3, false); err != ErrInsufficientData {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := AlignSeries(series, changeAt, 0, 3, false); err == nil {
+		t.Fatal("zero preLen accepted")
+	}
+}

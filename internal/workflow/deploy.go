@@ -1,0 +1,67 @@
+package workflow
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Deployment is the artifact generated from a verified workflow: CORNET's
+// equivalent of the dynamically-created WAR file (Section 3.2). It stitches
+// the graphical design together with, per target NF type, the resolved REST
+// API location of every building block, and is itself referenced by a
+// dynamically generated REST API used by the dispatcher at run time.
+type Deployment struct {
+	// WorkflowName and Checksum identify the design this artifact was
+	// generated from; the checksum covers the full serialized workflow so
+	// stale deployments are detectable.
+	WorkflowName string `json:"workflow_name"`
+	Checksum     string `json:"checksum"`
+	// NFType is the network function type the block resolution targeted.
+	NFType string `json:"nf_type"`
+	// API is the dynamically generated REST path for invoking this
+	// deployed workflow.
+	API string `json:"api"`
+	// BlockAPIs maps each building-block name used in the workflow to the
+	// REST location of the implementation resolved for NFType.
+	BlockAPIs map[string]string `json:"block_apis"`
+	// Workflow embeds the full verified design so the orchestrator can
+	// execute without consulting the designer.
+	Workflow *Workflow `json:"workflow"`
+}
+
+// APIResolver resolves a building-block name for an NF type to the REST
+// location of its implementation (catalog.Lookup adapted).
+type APIResolver func(block, nfType string) (api string, err error)
+
+// Deploy verifies the workflow (structure only if resolve is nil for
+// parameters — callers normally verify with a full resolver first) and
+// produces the deployment artifact for one NF type.
+func Deploy(w *Workflow, nfType string, resolveAPI APIResolver) (*Deployment, error) {
+	if err := w.Verify(nil); err != nil {
+		return nil, fmt.Errorf("deploy: %w", err)
+	}
+	blockAPIs := make(map[string]string)
+	for _, b := range w.Blocks() {
+		api, err := resolveAPI(b, nfType)
+		if err != nil {
+			return nil, fmt.Errorf("deploy %q for %q: %w", w.Name, nfType, err)
+		}
+		blockAPIs[b] = api
+	}
+	data, err := json.Marshal(w)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(data)
+	checksum := hex.EncodeToString(sum[:8])
+	return &Deployment{
+		WorkflowName: w.Name,
+		Checksum:     checksum,
+		NFType:       nfType,
+		API:          fmt.Sprintf("/api/wf/%s/%s/%s", w.Name, nfType, checksum),
+		BlockAPIs:    blockAPIs,
+		Workflow:     w.Clone(),
+	}, nil
+}

@@ -1,0 +1,177 @@
+package workflow
+
+// This file contains the canonical NF-agnostic workflow designs used across
+// the paper: the Fig. 4 software-upgrade workflow, its configuration-change
+// sibling, the two-workflow vCE pattern of Section 5.1, the schedule
+// planning workflow (Section 4.2), and the impact verification workflow
+// (Section 4.3). Block names match the catalog seed (Table 2).
+
+// SoftwareUpgrade builds the Fig. 4 workflow: health check, software
+// upgrade, pre/post comparison, roll-back, with decision gates after the
+// health check and the comparison. Inputs: instance, sw_version.
+func SoftwareUpgrade() *Workflow {
+	w := New("software-upgrade")
+	w.Doc = "Fig. 4: health check -> upgrade -> pre/post comparison -> roll-back on failure"
+	w.AddInput("instance", true, "target network function instance")
+	w.AddInput("sw_version", true, "software image to install")
+	w.AddNode(Node{ID: "start", Kind: Start}).
+		AddNode(Node{ID: "health", Kind: Task, Block: "health-check",
+			Saves: map[string]string{"status": "health_status"}}).
+		AddNode(Node{ID: "health_ok", Kind: Decision, Cond: "health_status"}).
+		AddNode(Node{ID: "upgrade", Kind: Task, Block: "software-upgrade",
+			Saves: map[string]string{"status": "upgrade_status"}}).
+		AddNode(Node{ID: "compare", Kind: Task, Block: "pre-post-comparison",
+			Saves: map[string]string{"verdict": "compare_verdict"}}).
+		AddNode(Node{ID: "compare_ok", Kind: Decision, Cond: "compare_verdict"}).
+		AddNode(Node{ID: "rollback", Kind: Task, Block: "roll-back",
+			Args:  map[string]string{"sw_version": "$prior_version"},
+			Saves: map[string]string{"status": "rollback_status"}}).
+		AddNode(Node{ID: "end", Kind: End})
+	w.AddInput("prior_version", false, "version to roll back to on failure")
+	w.AddEdge("start", "health", "").
+		AddEdge("health", "health_ok", "").
+		AddEdge("health_ok", "upgrade", "yes").
+		AddEdge("health_ok", "end", "no").
+		AddEdge("upgrade", "compare", "").
+		AddEdge("compare", "compare_ok", "").
+		AddEdge("compare_ok", "end", "yes").
+		AddEdge("compare_ok", "rollback", "no").
+		AddEdge("rollback", "end", "")
+	return w
+}
+
+// ConfigChange is the configuration-change analogue of Fig. 4.
+func ConfigChange() *Workflow {
+	w := New("config-change")
+	w.Doc = "health check -> config change -> pre/post comparison -> roll-back on failure"
+	w.AddInput("instance", true, "target network function instance")
+	w.AddInput("config", true, "configuration payload")
+	w.AddNode(Node{ID: "start", Kind: Start}).
+		AddNode(Node{ID: "health", Kind: Task, Block: "health-check",
+			Saves: map[string]string{"status": "health_status"}}).
+		AddNode(Node{ID: "health_ok", Kind: Decision, Cond: "health_status"}).
+		AddNode(Node{ID: "change", Kind: Task, Block: "config-change",
+			Saves: map[string]string{"status": "change_status"}}).
+		AddNode(Node{ID: "compare", Kind: Task, Block: "pre-post-comparison",
+			Saves: map[string]string{"verdict": "compare_verdict"}}).
+		AddNode(Node{ID: "compare_ok", Kind: Decision, Cond: "compare_verdict"}).
+		AddNode(Node{ID: "rollback", Kind: Task, Block: "roll-back",
+			Args:  map[string]string{"sw_version": "$prior_version"},
+			Saves: map[string]string{"status": "rollback_status"}}).
+		AddNode(Node{ID: "end", Kind: End})
+	w.AddInput("prior_version", false, "configuration snapshot to restore on failure")
+	w.AddEdge("start", "health", "").
+		AddEdge("health", "health_ok", "").
+		AddEdge("health_ok", "change", "yes").
+		AddEdge("health_ok", "end", "no").
+		AddEdge("change", "compare", "").
+		AddEdge("compare", "compare_ok", "").
+		AddEdge("compare_ok", "end", "yes").
+		AddEdge("compare_ok", "rollback", "no").
+		AddEdge("rollback", "end", "")
+	return w
+}
+
+// DownloadInstall is the first workflow of the two-workflow vCE pattern
+// (Section 5.1): non-disruptive software download and installation.
+func DownloadInstall() *Workflow {
+	w := New("download-install")
+	w.Doc = "vCE workflow 1: software download and install (not service disruptive)"
+	w.AddInput("instance", true, "target vCE router")
+	w.AddInput("sw_version", true, "software image to download")
+	w.AddNode(Node{ID: "start", Kind: Start}).
+		AddNode(Node{ID: "install", Kind: Task, Block: "software-upgrade",
+			Saves: map[string]string{"status": "install_status"}}).
+		AddNode(Node{ID: "end", Kind: End})
+	w.AddEdge("start", "install", "").AddEdge("install", "end", "")
+	return w
+}
+
+// ActivateVerify is the second workflow of the two-workflow vCE pattern:
+// health check, reboot into the new version (modeled as config change of
+// the active slot), and post checks validating availability.
+func ActivateVerify() *Workflow {
+	w := New("activate-verify")
+	w.Doc = "vCE workflow 2: health check, activate/reboot, post checks"
+	w.AddInput("instance", true, "target vCE router")
+	w.AddInput("config", true, "activation payload (active software slot)")
+	w.AddNode(Node{ID: "start", Kind: Start}).
+		AddNode(Node{ID: "health", Kind: Task, Block: "health-check",
+			Saves: map[string]string{"status": "health_status"}}).
+		AddNode(Node{ID: "health_ok", Kind: Decision, Cond: "health_status"}).
+		AddNode(Node{ID: "activate", Kind: Task, Block: "config-change",
+			Saves: map[string]string{"status": "activate_status"}}).
+		AddNode(Node{ID: "post", Kind: Task, Block: "pre-post-comparison",
+			Saves: map[string]string{"verdict": "post_verdict"}}).
+		AddNode(Node{ID: "end", Kind: End})
+	w.AddEdge("start", "health", "").
+		AddEdge("health", "health_ok", "").
+		AddEdge("health_ok", "activate", "yes").
+		AddEdge("health_ok", "end", "no").
+		AddEdge("activate", "post", "").
+		AddEdge("post", "end", "")
+	return w
+}
+
+// SchedulePlanning is the NF-agnostic planning workflow of Section 4.2:
+// detect conflicts, extract topology, extract inventory, model translation,
+// optimization solver.
+func SchedulePlanning() *Workflow {
+	w := New("schedule-planning")
+	w.Doc = "detect conflicts -> extract topology -> extract inventory -> model translation -> solver"
+	w.AddInput("intent", true, "high-level scheduling intent JSON")
+	w.AddInput("instance", true, "scope identifier for the change request")
+	w.AddNode(Node{ID: "start", Kind: Start}).
+		AddNode(Node{ID: "conflicts", Kind: Task, Block: "detect-conflicts",
+			Saves: map[string]string{"status": "conflict_table"}}).
+		AddNode(Node{ID: "topo", Kind: Task, Block: "extract-topology",
+			Saves: map[string]string{"status": "topology"}}).
+		AddNode(Node{ID: "inv", Kind: Task, Block: "extract-inventory",
+			Saves: map[string]string{"status": "inventory"}}).
+		AddNode(Node{ID: "translate", Kind: Task, Block: "model-translation",
+			Saves: map[string]string{"model": "model"}}).
+		AddNode(Node{ID: "solve", Kind: Task, Block: "optimization-solver",
+			Args:  map[string]string{"model": "$model"},
+			Saves: map[string]string{"schedule": "schedule"}}).
+		AddNode(Node{ID: "end", Kind: End})
+	w.AddEdge("start", "conflicts", "").
+		AddEdge("conflicts", "topo", "").
+		AddEdge("topo", "inv", "").
+		AddEdge("inv", "translate", "").
+		AddEdge("translate", "solve", "").
+		AddEdge("solve", "end", "")
+	return w
+}
+
+// ImpactVerification is the NF-agnostic verification workflow of Section
+// 4.3: change scope, extract KPI / topology / inventory, aggregate KPI,
+// impact detection.
+func ImpactVerification() *Workflow {
+	w := New("impact-verification")
+	w.Doc = "change scope -> extract KPI/topology/inventory -> aggregate -> impact detection"
+	w.AddInput("instance", true, "changed network function instance")
+	w.AddInput("kpis", false, "KPI rule selection")
+	w.AddInput("attributes", false, "location aggregation attributes")
+	w.AddNode(Node{ID: "start", Kind: Start}).
+		AddNode(Node{ID: "scope", Kind: Task, Block: "change-scope",
+			Saves: map[string]string{"status": "scope"}}).
+		AddNode(Node{ID: "kpi", Kind: Task, Block: "extract-kpi",
+			Saves: map[string]string{"status": "kpi_data"}}).
+		AddNode(Node{ID: "topo", Kind: Task, Block: "extract-topology",
+			Saves: map[string]string{"status": "topology"}}).
+		AddNode(Node{ID: "inv", Kind: Task, Block: "extract-inventory",
+			Saves: map[string]string{"status": "inventory"}}).
+		AddNode(Node{ID: "agg", Kind: Task, Block: "aggregate-kpi",
+			Saves: map[string]string{"status": "aggregates"}}).
+		AddNode(Node{ID: "detect", Kind: Task, Block: "impact-detection",
+			Saves: map[string]string{"verdict": "impact"}}).
+		AddNode(Node{ID: "end", Kind: End})
+	w.AddEdge("start", "scope", "").
+		AddEdge("scope", "kpi", "").
+		AddEdge("kpi", "topo", "").
+		AddEdge("topo", "inv", "").
+		AddEdge("inv", "agg", "").
+		AddEdge("agg", "detect", "").
+		AddEdge("detect", "end", "")
+	return w
+}

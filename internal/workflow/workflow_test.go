@@ -1,0 +1,306 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+
+	"cornet/internal/catalog"
+)
+
+// resolverFromCatalog adapts a seeded catalog to the workflow verifier.
+func resolverFromCatalog(c *catalog.Catalog) BlockResolver {
+	return func(block string) (BlockInfo, bool) {
+		b, err := c.Lookup(block, "eNodeB")
+		if err != nil {
+			return BlockInfo{}, false
+		}
+		info := BlockInfo{}
+		for _, p := range b.Inputs {
+			info.Inputs = append(info.Inputs, ParamSpec{Name: p.Name, Required: p.Required})
+		}
+		for _, p := range b.Outputs {
+			info.Outputs = append(info.Outputs, ParamSpec{Name: p.Name, Required: p.Required})
+		}
+		return info, true
+	}
+}
+
+func seededResolver() BlockResolver {
+	c := catalog.New()
+	catalog.Seed(c, map[string]catalog.ImplKind{"eNodeB": catalog.ImplAnsible})
+	return resolverFromCatalog(c)
+}
+
+func TestLibraryWorkflowsVerify(t *testing.T) {
+	resolve := seededResolver()
+	for _, w := range []*Workflow{
+		SoftwareUpgrade(), ConfigChange(), DownloadInstall(),
+		ActivateVerify(), SchedulePlanning(), ImpactVerification(),
+	} {
+		if err := w.Verify(resolve); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestVerifyDetectsZombie(t *testing.T) {
+	w := SoftwareUpgrade()
+	// A block with no edges at all.
+	w.AddNode(Node{ID: "orphan", Kind: Task, Block: "health-check"})
+	err := w.Verify(nil)
+	if err == nil {
+		t.Fatal("zombie not detected")
+	}
+	if !strings.Contains(err.Error(), "zombie") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestVerifyDetectsHalfZombie(t *testing.T) {
+	// Incoming edge but no outgoing edge is still a zombie per §3.2.
+	w := New("wf")
+	w.AddNode(Node{ID: "start", Kind: Start}).
+		AddNode(Node{ID: "t1", Kind: Task, Block: "health-check"}).
+		AddNode(Node{ID: "t2", Kind: Task, Block: "health-check"}).
+		AddNode(Node{ID: "end", Kind: End})
+	w.AddEdge("start", "t1", "").AddEdge("t1", "end", "").AddEdge("t1", "t2", "")
+	err := w.Verify(nil)
+	if err == nil || !strings.Contains(err.Error(), "zombie") {
+		t.Fatalf("half-zombie not detected: %v", err)
+	}
+}
+
+func TestVerifyStructuralRules(t *testing.T) {
+	mk := func(build func(*Workflow)) error {
+		w := New("wf")
+		build(w)
+		return w.Verify(nil)
+	}
+	cases := []struct {
+		name  string
+		build func(*Workflow)
+		want  string
+	}{
+		{"no start", func(w *Workflow) {
+			w.AddNode(Node{ID: "end", Kind: End})
+		}, "exactly one start"},
+		{"two starts", func(w *Workflow) {
+			w.AddNode(Node{ID: "s1", Kind: Start}).AddNode(Node{ID: "s2", Kind: Start}).
+				AddNode(Node{ID: "end", Kind: End}).
+				AddEdge("s1", "end", "").AddEdge("s2", "end", "")
+		}, "exactly one start"},
+		{"no end", func(w *Workflow) {
+			w.AddNode(Node{ID: "s", Kind: Start})
+		}, "no end node"},
+		{"duplicate id", func(w *Workflow) {
+			w.AddNode(Node{ID: "s", Kind: Start}).AddNode(Node{ID: "s", Kind: End})
+		}, "duplicate node id"},
+		{"edge to unknown", func(w *Workflow) {
+			w.AddNode(Node{ID: "s", Kind: Start}).AddNode(Node{ID: "e", Kind: End}).
+				AddEdge("s", "ghost", "")
+		}, "edge to unknown"},
+		{"decision missing branch", func(w *Workflow) {
+			w.AddNode(Node{ID: "s", Kind: Start}).
+				AddNode(Node{ID: "d", Kind: Decision, Cond: "x"}).
+				AddNode(Node{ID: "e", Kind: End}).
+				AddEdge("s", "d", "").AddEdge("d", "e", "yes")
+		}, "both yes and no"},
+		{"task without block", func(w *Workflow) {
+			w.AddNode(Node{ID: "s", Kind: Start}).
+				AddNode(Node{ID: "t", Kind: Task}).
+				AddNode(Node{ID: "e", Kind: End}).
+				AddEdge("s", "t", "").AddEdge("t", "e", "")
+		}, "names no building block"},
+		{"unreachable node", func(w *Workflow) {
+			w.AddNode(Node{ID: "s", Kind: Start}).
+				AddNode(Node{ID: "e", Kind: End}).
+				AddNode(Node{ID: "i", Kind: Task, Block: "b"}).
+				AddNode(Node{ID: "e2", Kind: End}).
+				AddEdge("s", "e", "").AddEdge("i", "e2", "")
+		}, "unreachable"},
+		{"task fan-out without decision", func(w *Workflow) {
+			w.AddNode(Node{ID: "s", Kind: Start}).
+				AddNode(Node{ID: "t", Kind: Task, Block: "b"}).
+				AddNode(Node{ID: "e", Kind: End}).AddNode(Node{ID: "e2", Kind: End}).
+				AddEdge("s", "t", "").AddEdge("t", "e", "").AddEdge("t", "e2", "")
+		}, "route branching through a decision"},
+	}
+	for _, tc := range cases {
+		err := mk(tc.build)
+		if err == nil {
+			t.Errorf("%s: verification passed, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestVerifyParamFlow(t *testing.T) {
+	resolve := seededResolver()
+
+	// Required input satisfied by workflow input of same name: ok (covered
+	// by library tests). Unknown block:
+	w := New("wf")
+	w.AddInput("instance", true, "")
+	w.AddNode(Node{ID: "s", Kind: Start}).
+		AddNode(Node{ID: "t", Kind: Task, Block: "no-such-block"}).
+		AddNode(Node{ID: "e", Kind: End}).
+		AddEdge("s", "t", "").AddEdge("t", "e", "")
+	err := w.Verify(resolve)
+	if err == nil || !strings.Contains(err.Error(), "unknown building block") {
+		t.Fatalf("unknown block: %v", err)
+	}
+
+	// Required input unbound and not a workflow input.
+	w2 := New("wf2")
+	w2.AddNode(Node{ID: "s", Kind: Start}).
+		AddNode(Node{ID: "t", Kind: Task, Block: "software-upgrade"}).
+		AddNode(Node{ID: "e", Kind: End}).
+		AddEdge("s", "t", "").AddEdge("t", "e", "")
+	err = w2.Verify(resolve)
+	if err == nil || !strings.Contains(err.Error(), "is unbound") {
+		t.Fatalf("unbound input: %v", err)
+	}
+
+	// Reference to undefined variable.
+	w3 := New("wf3")
+	w3.AddInput("instance", true, "")
+	w3.AddNode(Node{ID: "s", Kind: Start}).
+		AddNode(Node{ID: "t", Kind: Task, Block: "software-upgrade",
+			Args: map[string]string{"sw_version": "$ghost"}}).
+		AddNode(Node{ID: "e", Kind: End}).
+		AddEdge("s", "t", "").AddEdge("t", "e", "")
+	err = w3.Verify(resolve)
+	if err == nil || !strings.Contains(err.Error(), "undefined variable") {
+		t.Fatalf("undefined ref: %v", err)
+	}
+
+	// Saving an output the block does not produce.
+	w4 := New("wf4")
+	w4.AddInput("instance", true, "")
+	w4.AddNode(Node{ID: "s", Kind: Start}).
+		AddNode(Node{ID: "t", Kind: Task, Block: "health-check",
+			Saves: map[string]string{"bogus_output": "v"}}).
+		AddNode(Node{ID: "e", Kind: End}).
+		AddEdge("s", "t", "").AddEdge("t", "e", "")
+	err = w4.Verify(resolve)
+	if err == nil || !strings.Contains(err.Error(), "unknown output") {
+		t.Fatalf("unknown output: %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	w := SoftwareUpgrade()
+	c := w.Clone()
+	c.Nodes[1].Block = "mutated"
+	c.Edges[0].To = "mutated"
+	if w.Nodes[1].Block == "mutated" || w.Edges[0].To == "mutated" {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	w := SoftwareUpgrade()
+	got := w.Blocks()
+	want := []string{"health-check", "pre-post-comparison", "roll-back", "software-upgrade"}
+	if len(got) != len(want) {
+		t.Fatalf("Blocks = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Blocks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStitch(t *testing.T) {
+	resolve := seededResolver()
+	combined, err := Stitch("upgrade-then-config", SoftwareUpgrade(), ConfigChange())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := combined.Verify(resolve); err != nil {
+		t.Fatalf("stitched workflow fails verification: %v", err)
+	}
+	// Exactly one start, and the inputs of both operands are merged.
+	starts := 0
+	for _, n := range combined.Nodes {
+		if n.Kind == Start {
+			starts++
+		}
+	}
+	if starts != 1 {
+		t.Fatalf("stitched has %d starts", starts)
+	}
+	names := map[string]bool{}
+	for _, p := range combined.Inputs {
+		if names[p.Name] {
+			t.Fatalf("duplicate merged input %q", p.Name)
+		}
+		names[p.Name] = true
+	}
+	for _, want := range []string{"instance", "sw_version", "config"} {
+		if !names[want] {
+			t.Fatalf("stitched inputs missing %q: %v", want, combined.Inputs)
+		}
+	}
+}
+
+func TestDeploy(t *testing.T) {
+	c := catalog.New()
+	catalog.Seed(c, map[string]catalog.ImplKind{"vCE": catalog.ImplScript})
+	resolveAPI := func(block, nfType string) (string, error) {
+		b, err := c.Lookup(block, nfType)
+		if err != nil {
+			return "", err
+		}
+		return b.APILocation, nil
+	}
+	dep, err := Deploy(SoftwareUpgrade(), "vCE", resolveAPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.BlockAPIs["software-upgrade"] != "/api/bb/software-upgrade/vCE" {
+		t.Fatalf("BlockAPIs = %v", dep.BlockAPIs)
+	}
+	if dep.BlockAPIs["pre-post-comparison"] != "/api/bb/pre-post-comparison" {
+		t.Fatalf("agnostic block API = %v", dep.BlockAPIs["pre-post-comparison"])
+	}
+	if !strings.HasPrefix(dep.API, "/api/wf/software-upgrade/vCE/") {
+		t.Fatalf("API = %s", dep.API)
+	}
+	if dep.Checksum == "" || dep.Workflow == nil {
+		t.Fatal("incomplete deployment")
+	}
+
+	// Deploying for an NF type lacking implementations fails.
+	if _, err := Deploy(SoftwareUpgrade(), "unknownNF", resolveAPI); err == nil {
+		t.Fatal("deploy for unimplemented NF type should fail")
+	}
+
+	// Deploying an unverifiable workflow fails.
+	bad := New("bad")
+	if _, err := Deploy(bad, "vCE", resolveAPI); err == nil {
+		t.Fatal("deploy of invalid workflow should fail")
+	}
+}
+
+func TestDeployChecksumStable(t *testing.T) {
+	resolveAPI := func(block, nfType string) (string, error) { return "/x/" + block, nil }
+	d1, err := Deploy(SoftwareUpgrade(), "vCE", resolveAPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := Deploy(SoftwareUpgrade(), "vCE", resolveAPI)
+	if d1.Checksum != d2.Checksum {
+		t.Fatal("checksum not deterministic for identical designs")
+	}
+	modified := SoftwareUpgrade()
+	modified.Doc = "changed"
+	d3, _ := Deploy(modified, "vCE", resolveAPI)
+	if d3.Checksum == d1.Checksum {
+		t.Fatal("checksum identical for different designs")
+	}
+}
