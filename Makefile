@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test vet fmt-check race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any file needs gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# The planning and orchestration packages are the concurrency-heavy core
+# (portfolio racing, component workers, dispatcher): keep them race-clean.
+race:
+	$(GO) test -race ./internal/plan/... ./internal/orchestrator/...
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkPlannerScale -benchtime 1x .
+
+check: build vet fmt-check test race

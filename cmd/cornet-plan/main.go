@@ -4,15 +4,20 @@
 // Usage:
 //
 //	cornet-plan -intent intent.json [-inventory ran|vpn|sdwan] [-size N]
-//	            [-render] [-force solver|heuristic] [-seed N]
+//	            [-render] [-backend auto|solver|heuristic|portfolio]
+//	            [-timeout D] [-stats] [-seed N]
 //
 // The inventory is generated synthetically (this repository's substitute
 // for the production inventory databases); -size controls the element
 // count. The discovered schedule is printed per timeslot, with leftovers
-// and the rendered constraint model on request.
+// and the rendered constraint model on request. -timeout bounds schedule
+// discovery: at the deadline the best schedule found so far is returned
+// and marked timed-out. -backend portfolio races the solver and the
+// heuristic, keeping the first (or strictly better late) result.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +27,7 @@ import (
 	"cornet/internal/core"
 	"cornet/internal/inventory"
 	"cornet/internal/netgen"
+	"cornet/internal/plan/engine"
 	"cornet/internal/plan/solver"
 )
 
@@ -31,7 +37,10 @@ func main() {
 		invKind    = flag.String("inventory", "ran", "synthetic inventory: ran | vpn | sdwan")
 		size       = flag.Int("size", 400, "approximate inventory size")
 		render     = flag.Bool("render", false, "print the generated constraint model")
-		force      = flag.String("force", "", "force engine: solver | heuristic")
+		backend    = flag.String("backend", "auto", "planning backend: auto | solver | heuristic | portfolio")
+		force      = flag.String("force", "", "deprecated alias of -backend: solver | heuristic")
+		timeout    = flag.Duration("timeout", 0, "schedule discovery deadline (0 = backend defaults)")
+		showStats  = flag.Bool("stats", false, "print per-backend search statistics")
 		seed       = flag.Int64("seed", 1, "generator seed")
 		maxShow    = flag.Int("show", 8, "max elements to list per timeslot")
 	)
@@ -67,23 +76,50 @@ func main() {
 		RenderModel: *render,
 		Seed:        *seed,
 	}
-	switch *force {
-	case "solver":
-		opt.ForceSolver = true
-	case "heuristic":
-		opt.ForceHeuristic = true
-	case "":
-	default:
-		fatal(fmt.Errorf("unknown -force value %q", *force))
+	spec := *backend
+	if *force != "" {
+		spec = *force
 	}
-
-	res, err := f.PlanSchedule(doc, sub, opt)
+	policy, err := engine.ParsePolicy(spec)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("method=%s discovery=%v makespan=%d conflicts=%d scheduled=%d leftovers=%d\n",
+	opt.Policy = policy
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := f.PlanScheduleContext(ctx, doc, sub, opt)
+	if err != nil {
+		fatal(err)
+	}
+	timedOut := ""
+	if res.TimedOut {
+		timedOut = " timed_out=true"
+	}
+	fmt.Printf("method=%s discovery=%v makespan=%d conflicts=%d scheduled=%d leftovers=%d%s\n",
 		res.Method, res.Discovery, res.Makespan, res.Conflicts,
-		len(res.Assignment), len(res.Leftovers))
+		len(res.Assignment), len(res.Leftovers), timedOut)
+	if *showStats {
+		for _, st := range res.Stats {
+			marker := " "
+			if st.Winner {
+				marker = "*"
+			}
+			line := fmt.Sprintf("  %s backend=%-9s wall=%-12v nodes=%d restarts=%d objective=%d conflicts=%d",
+				marker, st.Backend, st.Wall, st.Nodes, st.Restarts, st.Objective, st.Conflicts)
+			if st.TimedOut {
+				line += " timed_out=true"
+			}
+			if st.Err != "" {
+				line += " err=" + st.Err
+			}
+			fmt.Println(line)
+		}
+	}
 
 	bySlot := map[int][]string{}
 	for id, slot := range res.Assignment {

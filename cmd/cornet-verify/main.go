@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +37,7 @@ func main() {
 		attrsFlag = flag.String("attrs", "market", "comma-separated drill-down attributes")
 		seed      = flag.Int64("seed", 1, "generator seed")
 		studyN    = flag.Int("study", 30, "study group size")
+		timeout   = flag.Duration("timeout", 0, "verification deadline (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -119,7 +121,13 @@ func main() {
 	if *attrsFlag != "" {
 		rule.Attributes = strings.Split(*attrsFlag, ",")
 	}
-	rep, err := f.VerifyImpact(ds, net.Inv, rule, study, changeAt, control)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rep, err := f.VerifyImpactContext(ctx, ds, net.Inv, rule, study, changeAt, control)
 	if err != nil {
 		fatal(err)
 	}

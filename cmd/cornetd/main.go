@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -15,11 +16,13 @@ import (
 	"log"
 	"net/http"
 	"sync"
+	"time"
 
 	"cornet/internal/catalog"
 	"cornet/internal/core"
 	"cornet/internal/inventory"
 	"cornet/internal/netgen"
+	"cornet/internal/plan/engine"
 	"cornet/internal/testbed"
 	"cornet/internal/workflow"
 )
@@ -28,6 +31,8 @@ type server struct {
 	f   *core.Framework
 	tb  *testbed.Testbed
 	net *netgen.Network
+	// planTimeout bounds each /api/plan request's schedule discovery.
+	planTimeout time.Duration
 
 	mu          sync.RWMutex
 	deployments map[string]*workflow.Deployment
@@ -35,9 +40,10 @@ type server struct {
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		vnfs = flag.Int("vnfs", 4, "testbed instances per vNF type")
-		seed = flag.Int64("seed", 1, "generator seed")
+		addr        = flag.String("addr", ":8080", "listen address")
+		vnfs        = flag.Int("vnfs", 4, "testbed instances per vNF type")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		planTimeout = flag.Duration("plan-timeout", 30*time.Second, "per-request schedule discovery deadline (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -53,7 +59,7 @@ func main() {
 		"eNodeB": catalog.ImplVendorCLI, "gNodeB": catalog.ImplVendorCLI,
 	}, core.WithInvoker(tb))
 
-	s := &server{f: f, tb: tb, net: net, deployments: map[string]*workflow.Deployment{}}
+	s := &server{f: f, tb: tb, net: net, planTimeout: *planTimeout, deployments: map[string]*workflow.Deployment{}}
 	mux := http.NewServeMux()
 	// Building blocks execute directly against the testbed.
 	mux.Handle("/api/bb/", tb.Handler())
@@ -171,11 +177,29 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 }
 
 // handlePlan accepts the Listing 1 intent document and plans over the
-// server's synthetic RAN inventory.
+// server's synthetic RAN inventory. The optional ?backend= query parameter
+// selects the planning policy (auto | solver | heuristic | portfolio); the
+// optional ?timeout= parameter tightens the server's -plan-timeout for
+// this request. Discovery runs under a context derived from the request,
+// so a disconnecting client aborts the search.
 func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
+	}
+	policy, err := engine.ParsePolicy(r.URL.Query().Get("backend"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	timeout := s.planTimeout
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad timeout: %v", err), http.StatusBadRequest)
+			return
+		}
+		timeout = d
 	}
 	doc, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
 	if err != nil {
@@ -186,20 +210,48 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		layer, _ := e.Attr(inventory.AttrLayer)
 		return layer == "edge"
 	})
-	res, err := s.f.PlanSchedule(doc, s.net.Inv.Subset(targets), core.PlanOptions{
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, err := s.f.PlanScheduleContext(ctx, doc, s.net.Inv.Subset(targets), core.PlanOptions{
 		Topology: s.net.Topo,
+		Policy:   policy,
 	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
+	type backendStats struct {
+		Backend   string `json:"backend"`
+		WallNS    int64  `json:"wall_ns"`
+		Nodes     int64  `json:"nodes,omitempty"`
+		Restarts  int    `json:"restarts,omitempty"`
+		Objective int64  `json:"objective"`
+		Conflicts int    `json:"conflicts"`
+		TimedOut  bool   `json:"timed_out,omitempty"`
+		Winner    bool   `json:"winner,omitempty"`
+		Err       string `json:"error,omitempty"`
+	}
+	stats := make([]backendStats, 0, len(res.Stats))
+	for _, st := range res.Stats {
+		stats = append(stats, backendStats{
+			Backend: st.Backend, WallNS: int64(st.Wall), Nodes: st.Nodes,
+			Restarts: st.Restarts, Objective: st.Objective, Conflicts: st.Conflicts,
+			TimedOut: st.TimedOut, Winner: st.Winner, Err: st.Err,
+		})
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Method     string         `json:"method"`
 		Makespan   int            `json:"makespan"`
 		Conflicts  int            `json:"conflicts"`
+		TimedOut   bool           `json:"timed_out,omitempty"`
+		Stats      []backendStats `json:"stats"`
 		Assignment map[string]int `json:"assignment"`
 		Leftovers  []string       `json:"leftovers,omitempty"`
-	}{res.Method, res.Makespan, res.Conflicts, res.Assignment, res.Leftovers})
+	}{res.Method, res.Makespan, res.Conflicts, res.TimedOut, stats, res.Assignment, res.Leftovers})
 }
 
 func decode(r *http.Request, v any) error {

@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
+	"time"
 
 	"cornet/internal/catalog"
 	"cornet/internal/core"
@@ -59,7 +61,11 @@ func main() {
 	  ]
 	}`
 	sub := net.Inv.Subset(bases)
-	plan, err := f.PlanSchedule([]byte(intentDoc), sub, core.PlanOptions{Seed: 5})
+	// Bound schedule discovery: past the deadline the planner returns its
+	// best schedule so far instead of running open-ended.
+	planCtx, cancelPlan := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancelPlan()
+	plan, err := f.PlanScheduleContext(planCtx, []byte(intentDoc), sub, core.PlanOptions{Seed: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

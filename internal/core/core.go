@@ -15,9 +15,10 @@ import (
 	"cornet/internal/catalog"
 	"cornet/internal/inventory"
 	"cornet/internal/orchestrator"
-	"cornet/internal/plan/decompose"
+	"cornet/internal/plan/engine"
 	"cornet/internal/plan/heuristic"
 	"cornet/internal/plan/intent"
+	"cornet/internal/plan/model"
 	"cornet/internal/plan/solver"
 	"cornet/internal/plan/translate"
 	"cornet/internal/topology"
@@ -32,9 +33,13 @@ type Framework struct {
 	Catalog  *catalog.Catalog
 	Engine   *orchestrator.Engine
 	Registry *kpi.Registry
-	// ScaleThreshold is the instance count above which schedule planning
-	// switches from the generic model-driven solver to the custom
-	// heuristic (Section 3.3.3; the paper's solvers handle ~1,000).
+	// Planner dispatches schedule planning onto pluggable backends; nil
+	// means the default engine (decomposed solver + Algorithm 1 heuristic).
+	Planner *engine.Engine
+	// ScaleThreshold is the instance count above which the default
+	// Threshold policy switches from the generic model-driven solver to
+	// the custom heuristic (Section 3.3.3; the paper's solvers handle
+	// ~1,000). Per-request PlanOptions.Policy overrides it.
 	ScaleThreshold int
 	// SolverOptions bound the generic solver's search.
 	SolverOptions solver.Options
@@ -66,6 +71,7 @@ func New(nfTypes map[string]catalog.ImplKind, opts ...Option) *Framework {
 	f := &Framework{
 		Catalog:           catalog.New(),
 		Registry:          kpi.NewRegistry(),
+		Planner:           engine.New(),
 		ScaleThreshold:    1000,
 		HeuristicRestarts: 8,
 	}
@@ -140,11 +146,17 @@ type PlanResult struct {
 	Slots      []intent.Timeslot
 	Conflicts  int
 	Makespan   int
-	// Method records which engine produced the plan ("solver" or
-	// "heuristic").
+	// Method records which backend produced the plan ("solver",
+	// "heuristic", or "cp").
 	Method string
 	// Discovery is the schedule discovery time.
 	Discovery time.Duration
+	// TimedOut reports a best-so-far schedule returned at the search
+	// budget rather than a completed search.
+	TimedOut bool
+	// Stats holds one entry per backend consulted (the winner flagged);
+	// portfolio planning lists the cancelled losers too.
+	Stats []engine.Stats
 	// ModelText is the rendered constraint model (solver path only).
 	ModelText string
 }
@@ -154,7 +166,14 @@ type PlanOptions struct {
 	Topology *topology.Graph
 	// RequireAll forbids leftovers (solver path).
 	RequireAll bool
+	// Policy selects the planning backend per request: engine.Threshold
+	// (default), engine.ForceSolver, engine.ForceHeuristic, or
+	// engine.Portfolio (race both, cancel the loser).
+	Policy engine.Policy
 	// ForceSolver / ForceHeuristic override the scale-based selection.
+	//
+	// Deprecated: set Policy instead; these remain for existing callers
+	// and are ignored when Policy is non-empty.
 	ForceSolver    bool
 	ForceHeuristic bool
 	// RenderModel includes the MiniZinc-style model text in the result.
@@ -166,73 +185,149 @@ type PlanOptions struct {
 	Seed                  int64
 }
 
-// PlanSchedule runs the full planning pipeline: parse intent, translate to
-// a constraint model, and solve — with the generic model-driven solver up
-// to ScaleThreshold instances and the Appendix C heuristic beyond.
+// PlanSchedule runs the full planning pipeline over a background context.
+//
+// Deprecated: use PlanScheduleContext, which supports cancellation and
+// deadlines.
 func (f *Framework) PlanSchedule(intentJSON []byte, inv *inventory.Inventory, opt PlanOptions) (*PlanResult, error) {
+	return f.PlanScheduleContext(context.Background(), intentJSON, inv, opt)
+}
+
+// PlanScheduleContext runs the full planning pipeline: parse intent, build
+// the backend representations the policy needs, and solve on the planning
+// engine. A ctx deadline becomes the backends' soft search budget (best
+// incumbent returned, PlanResult.TimedOut set); cancelling ctx aborts the
+// search with an error.
+func (f *Framework) PlanScheduleContext(ctx context.Context, intentJSON []byte, inv *inventory.Inventory, opt PlanOptions) (*PlanResult, error) {
 	req, err := intent.Parse(intentJSON)
 	if err != nil {
 		return nil, err
 	}
-	return f.PlanScheduleRequest(req, inv, opt)
+	return f.PlanScheduleRequestContext(ctx, req, inv, opt)
 }
 
-// PlanScheduleRequest is PlanSchedule for a pre-parsed request.
+// PlanScheduleRequest is PlanScheduleRequestContext over a background
+// context.
+//
+// Deprecated: use PlanScheduleRequestContext, which supports cancellation
+// and deadlines.
 func (f *Framework) PlanScheduleRequest(req *intent.Request, inv *inventory.Inventory, opt PlanOptions) (*PlanResult, error) {
+	return f.PlanScheduleRequestContext(context.Background(), req, inv, opt)
+}
+
+// planner returns the configured planning engine, defaulting lazily so a
+// zero-value Framework still plans.
+func (f *Framework) planner() *engine.Engine {
+	if f.Planner != nil {
+		return f.Planner
+	}
+	return engine.New()
+}
+
+// resolvePolicy folds the deprecated Force booleans into a Policy and
+// settles the Threshold choice up front, so representation construction
+// below can skip the side the policy will not run: translating a 100K-node
+// inventory into a constraint model just to discard it would dominate
+// discovery time.
+func (f *Framework) resolvePolicy(opt PlanOptions, size int) engine.Policy {
+	policy := opt.Policy
+	if policy == "" {
+		switch {
+		case opt.ForceHeuristic:
+			policy = engine.ForceHeuristic
+		case opt.ForceSolver:
+			policy = engine.ForceSolver
+		default:
+			policy = engine.Threshold
+		}
+	}
+	if policy == engine.Threshold {
+		if size > f.ScaleThreshold {
+			return engine.ForceHeuristic
+		}
+		return engine.ForceSolver
+	}
+	return policy
+}
+
+// PlanScheduleRequestContext is PlanScheduleContext for a pre-parsed
+// request.
+func (f *Framework) PlanScheduleRequestContext(ctx context.Context, req *intent.Request, inv *inventory.Inventory, opt PlanOptions) (*PlanResult, error) {
 	start := time.Now()
-	useHeuristic := opt.ForceHeuristic || (!opt.ForceSolver && inv.Len() > f.ScaleThreshold)
-	if useHeuristic {
-		res, err := f.planHeuristic(req, inv, opt)
+	policy := f.resolvePolicy(opt, inv.Len())
+	ereq := &engine.Request{Size: inv.Len()}
+	var tr *translate.Result
+	var slots []intent.Timeslot
+	if policy == engine.ForceSolver || policy == engine.Portfolio {
+		var err error
+		tr, err = translate.Translate(req, inv, translate.Options{
+			RequireAll: opt.RequireAll,
+			Topology:   opt.Topology,
+		})
 		if err != nil {
 			return nil, err
 		}
-		res.Discovery = time.Since(start)
-		return res, nil
+		ereq.Model = tr.Model
+		ereq.Expand = func(s model.Schedule) (map[string]int, []string) {
+			a := tr.Expand(s)
+			assignment := make(map[string]int)
+			for slot, ids := range a.BySlot {
+				for _, id := range ids {
+					assignment[id] = slot
+				}
+			}
+			return assignment, a.Leftovers
+		}
+		slots = tr.Slots
 	}
-	tr, err := translate.Translate(req, inv, translate.Options{
-		RequireAll: opt.RequireAll,
-		Topology:   opt.Topology,
-	})
-	if err != nil {
-		return nil, err
-	}
-	sched, err := decompose.Solve(tr.Model, decompose.SolveOptions{
-		Solver:   f.SolverOptions,
-		Contract: true,
-		Split:    true,
-	})
-	if err != nil {
-		return nil, err
-	}
-	a := tr.Expand(sched)
-	res := &PlanResult{
-		Assignment: map[string]int{},
-		Leftovers:  a.Leftovers,
-		Slots:      tr.Slots,
-		Conflicts:  sched.Conflicts,
-		Makespan:   sched.Makespan,
-		Method:     "solver",
-		Discovery:  time.Since(start),
-	}
-	for slot, ids := range a.BySlot {
-		for _, id := range ids {
-			res.Assignment[id] = slot
+	if policy == engine.ForceHeuristic || policy == engine.Portfolio {
+		inst, instSlots, err := f.heuristicInstance(req, inv, opt)
+		if err != nil {
+			return nil, err
+		}
+		ereq.Instance = inst
+		if slots == nil {
+			slots = instSlots
 		}
 	}
-	if opt.RenderModel {
-		res.ModelText = tr.Model.Render()
-	}
-	return res, nil
-}
-
-// planHeuristic maps the intent onto the Appendix C heuristic: slot count
-// from the scheduling window, global capacity from the first ESA-level
-// concurrency constraint, EMS capacity from a concurrency constraint
-// aggregated on the EMS attribute, conflicts from the conflict table.
-func (f *Framework) planHeuristic(req *intent.Request, inv *inventory.Inventory, opt PlanOptions) (*PlanResult, error) {
-	slots, err := req.Timeslots()
+	res, stats, err := f.planner().Plan(ctx, ereq, engine.Options{
+		Policy:         policy,
+		ScaleThreshold: f.ScaleThreshold,
+		Solver:         f.SolverOptions,
+	})
 	if err != nil {
 		return nil, err
+	}
+	out := &PlanResult{
+		Assignment: res.Assignment,
+		Leftovers:  res.Leftovers,
+		Slots:      slots,
+		Conflicts:  res.Conflicts,
+		Makespan:   res.Makespan,
+		Discovery:  time.Since(start),
+		TimedOut:   res.TimedOut,
+		Stats:      stats,
+	}
+	for _, st := range stats {
+		if st.Winner {
+			out.Method = st.Backend
+		}
+	}
+	if opt.RenderModel && tr != nil {
+		out.ModelText = tr.Model.Render()
+	}
+	return out, nil
+}
+
+// heuristicInstance maps the intent onto the Appendix C heuristic: slot
+// count from the scheduling window, global capacity from the first
+// ESA-level concurrency constraint, EMS capacity from a concurrency
+// constraint aggregated on the EMS attribute, conflicts from the conflict
+// table.
+func (f *Framework) heuristicInstance(req *intent.Request, inv *inventory.Inventory, opt PlanOptions) (*heuristic.Instance, []intent.Timeslot, error) {
+	slots, err := req.Timeslots()
+	if err != nil {
+		return nil, nil, err
 	}
 	slotCap := opt.HeuristicSlotCapacity
 	emsCap := opt.HeuristicEMSCapacity
@@ -254,9 +349,9 @@ func (f *Framework) planHeuristic(req *intent.Request, inv *inventory.Inventory,
 	}
 	slotConflicts, err := req.SlotConflicts(slots)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	h := heuristic.Solve(heuristic.Instance{
+	return &heuristic.Instance{
 		Inv:          inv,
 		MaxTimeslots: len(slots),
 		SlotCapacity: slotCap,
@@ -264,15 +359,7 @@ func (f *Framework) planHeuristic(req *intent.Request, inv *inventory.Inventory,
 		Conflicts:    slotConflicts,
 		Restarts:     f.HeuristicRestarts,
 		Seed:         opt.Seed,
-	})
-	return &PlanResult{
-		Assignment: h.Slots,
-		Leftovers:  h.Leftovers,
-		Slots:      slots,
-		Conflicts:  h.Conflicts,
-		Makespan:   h.Makespan,
-		Method:     "heuristic",
-	}, nil
+	}, slots, nil
 }
 
 // ControlGroup derives a control group for impact verification.
@@ -282,27 +369,51 @@ func (f *Framework) ControlGroup(topo *topology.Graph, inv *inventory.Inventory,
 	return sel.Control(study, criterion, opt)
 }
 
-// VerifyImpact runs the impact verifier over a data source.
+// VerifyImpact runs the impact verifier over a background context.
+//
+// Deprecated: use VerifyImpactContext, which supports cancellation and
+// deadlines.
 func (f *Framework) VerifyImpact(data verifier.DataSource, inv *inventory.Inventory,
 	rule verifier.Rule, study []string, changeAt map[string]int, control []string) (*verifier.Report, error) {
-	v := &verifier.Verifier{Registry: f.Registry, Data: data, Inv: inv}
-	return v.Verify(rule, study, changeAt, control)
+	return f.VerifyImpactContext(context.Background(), data, inv, rule, study, changeAt, control)
 }
 
-// CheckSchedule validates a manually-proposed schedule against a request's
-// constraints without discovering a new one — the intermediate adoption
-// step of Section 5.3: operators guessed a schedule by hand and CORNET
-// automated the conflict checking until they trusted full discovery.
-// assignment maps element ids to timeslot indexes (elements absent from
-// the map are treated as unscheduled). Returns the human-readable
-// violation list (empty = the manual schedule conforms).
+// VerifyImpactContext runs the impact verifier over a data source;
+// cancelling ctx stops the KPI evaluation worker pool.
+func (f *Framework) VerifyImpactContext(ctx context.Context, data verifier.DataSource, inv *inventory.Inventory,
+	rule verifier.Rule, study []string, changeAt map[string]int, control []string) (*verifier.Report, error) {
+	v := &verifier.Verifier{Registry: f.Registry, Data: data, Inv: inv}
+	return v.VerifyContext(ctx, rule, study, changeAt, control)
+}
+
+// CheckSchedule validates a manual schedule over a background context.
+//
+// Deprecated: use CheckScheduleContext, which supports cancellation.
 func (f *Framework) CheckSchedule(req *intent.Request, inv *inventory.Inventory,
 	assignment map[string]int, opt PlanOptions) ([]string, error) {
+	return f.CheckScheduleContext(context.Background(), req, inv, assignment, opt)
+}
+
+// CheckScheduleContext validates a manually-proposed schedule against a
+// request's constraints without discovering a new one — the intermediate
+// adoption step of Section 5.3: operators guessed a schedule by hand and
+// CORNET automated the conflict checking until they trusted full
+// discovery. assignment maps element ids to timeslot indexes (elements
+// absent from the map are treated as unscheduled). Returns the
+// human-readable violation list (empty = the manual schedule conforms).
+func (f *Framework) CheckScheduleContext(ctx context.Context, req *intent.Request, inv *inventory.Inventory,
+	assignment map[string]int, opt PlanOptions) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: check schedule: %w", err)
+	}
 	tr, err := translate.Translate(req, inv, translate.Options{
 		Topology: opt.Topology,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: check schedule: %w", err)
 	}
 	slots := make([]int, len(tr.Model.Items))
 	for i := range slots {

@@ -9,6 +9,8 @@ import (
 	"cornet/internal/kpigen"
 	"cornet/internal/netgen"
 	"cornet/internal/orchestrator"
+	"cornet/internal/plan/engine"
+	"cornet/internal/plan/intent"
 	"cornet/internal/plan/solver"
 	"cornet/internal/testbed"
 	"cornet/internal/verify/groups"
@@ -226,5 +228,97 @@ func TestControlGroupAndVerify(t *testing.T) {
 	}
 	if !rep.Go {
 		t.Fatalf("clean change flagged: %s", rep.Summary())
+	}
+}
+
+func TestPlanScheduleContextCancelled(t *testing.T) {
+	net, err := netgen.Cellular(netgen.CellularConfig{
+		Seed: 1, Markets: 1, TACsPerMarket: 2, USIDsPerTAC: 5,
+		GNodeBFraction: 1, EMSCount: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := framework(testbed.New(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.PlanScheduleContext(ctx, planIntent(6), net.Inv, PlanOptions{}); err == nil {
+		t.Fatal("cancelled planning succeeded")
+	}
+	if _, err := f.CheckScheduleContext(ctx, mustParseIntent(t, planIntent(6)), net.Inv, nil, PlanOptions{}); err == nil {
+		t.Fatal("cancelled check succeeded")
+	}
+}
+
+func mustParseIntent(t *testing.T, doc []byte) *intent.Request {
+	t.Helper()
+	req, err := ParseIntent(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func TestPlanSchedulePortfolioPolicy(t *testing.T) {
+	net, err := netgen.Cellular(netgen.CellularConfig{
+		Seed: 4, Markets: 1, TACsPerMarket: 2, USIDsPerTAC: 5,
+		GNodeBFraction: 1, EMSCount: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enbs := net.Inv.ByAttr("nf_type", "eNodeB")
+	gnbs := net.Inv.ByAttr("nf_type", "gNodeB")
+	sub := net.Inv.Subset(append(enbs, gnbs...))
+	f := framework(testbed.New(1))
+	f.SolverOptions = solver.Options{FirstSolutionOnly: true}
+	res, err := f.PlanScheduleContext(context.Background(), planIntent(6), sub,
+		PlanOptions{Policy: engine.Portfolio, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "solver" && res.Method != "heuristic" {
+		t.Fatalf("method = %q", res.Method)
+	}
+	if len(res.Stats) != 2 {
+		t.Fatalf("stats = %+v, want both racers reported", res.Stats)
+	}
+	winners := 0
+	for _, st := range res.Stats {
+		if st.Winner {
+			winners++
+			if st.Backend != res.Method {
+				t.Fatalf("winner %q != method %q", st.Backend, res.Method)
+			}
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("stats = %+v, want exactly one winner", res.Stats)
+	}
+	if len(res.Assignment)+len(res.Leftovers) != sub.Len() {
+		t.Fatalf("partition broken: %d + %d != %d",
+			len(res.Assignment), len(res.Leftovers), sub.Len())
+	}
+}
+
+func TestPlanScheduleStatsOnDefaultPath(t *testing.T) {
+	net, err := netgen.Cellular(netgen.CellularConfig{
+		Seed: 1, Markets: 1, TACsPerMarket: 2, USIDsPerTAC: 5,
+		GNodeBFraction: 1, EMSCount: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := framework(testbed.New(1))
+	f.SolverOptions = solver.Options{FirstSolutionOnly: true}
+	res, err := f.PlanSchedule(planIntent(6), net.Inv, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 1 || !res.Stats[0].Winner || res.Stats[0].Backend != res.Method {
+		t.Fatalf("stats = %+v, want single winning entry matching method %q", res.Stats, res.Method)
+	}
+	if res.Stats[0].Wall <= 0 {
+		t.Fatalf("stats wall time missing: %+v", res.Stats[0])
 	}
 }

@@ -10,6 +10,7 @@
 package decompose
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -373,10 +374,24 @@ type SolveOptions struct {
 	Parallelism int
 }
 
-// Solve runs the full decomposition pipeline: optional contraction, then
-// optional independent splitting with parallel solves, merging the partial
-// schedules into one model.Schedule over the original item space.
+// Solve runs the full decomposition pipeline over a background context.
+//
+// Deprecated: use SolveContext, which supports cancellation and deadlines.
 func Solve(m *model.Model, opt SolveOptions) (model.Schedule, error) {
+	return SolveContext(context.Background(), m, opt)
+}
+
+// SolveContext runs the full decomposition pipeline: optional contraction,
+// then optional independent splitting with parallel solves, merging the
+// partial schedules into one model.Schedule over the original item space.
+//
+// The first component error cancels every other in-flight component solve;
+// ctx cancellation aborts the whole pipeline with an error wrapping
+// ctx.Err().
+func SolveContext(ctx context.Context, m *model.Model, opt SolveOptions) (model.Schedule, error) {
+	if err := ctx.Err(); err != nil {
+		return model.Schedule{}, fmt.Errorf("decompose: %w", err)
+	}
 	m.Normalize()
 	expand := func(s model.Schedule) model.Schedule { return s }
 	work := m
@@ -388,7 +403,7 @@ func Solve(m *model.Model, opt SolveOptions) (model.Schedule, error) {
 		work, expand = c, ex
 	}
 	if !opt.Split {
-		s, err := solver.Solve(work, opt.Solver)
+		s, err := solver.SolveContext(ctx, work, opt.Solver)
 		if err != nil {
 			return model.Schedule{}, err
 		}
@@ -402,38 +417,63 @@ func Solve(m *model.Model, opt SolveOptions) (model.Schedule, error) {
 	if par <= 0 {
 		par = 4
 	}
-	type result struct {
-		i   int
-		s   model.Schedule
-		err error
+	// The first worker failure cancels every other component solve instead
+	// of letting them run to completion on a request that is already lost.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr, firstIdx = err, i
+			cancel()
+		}
+		mu.Unlock()
 	}
-	results := make([]result, len(subs))
+	results := make([]model.Schedule, len(subs))
+	solved := make([]bool, len(subs))
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
 	for i, sub := range subs {
-		i, sub := i, sub
 		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
+		go func(i int, sub *model.Model) {
 			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-cctx.Done():
+				fail(i, cctx.Err())
+				return
+			}
 			defer func() { <-sem }()
-			s, err := solver.Solve(sub, opt.Solver)
-			results[i] = result{i, s, err}
-		}()
+			s, err := solver.SolveContext(cctx, sub, opt.Solver)
+			if err != nil {
+				fail(i, err)
+				return
+			}
+			results[i] = s
+			solved[i] = true
+		}(i, sub)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return model.Schedule{}, fmt.Errorf("decompose: component %d: %w", firstIdx, firstErr)
+	}
 	slots := make([]int, len(work.Items))
 	optimal := true
 	var nodes int64
 	for i, r := range results {
-		if r.err != nil {
-			return model.Schedule{}, fmt.Errorf("decompose: component %d: %w", i, r.err)
+		if !solved[i] {
+			return model.Schedule{}, fmt.Errorf("decompose: component %d: not solved", i)
 		}
 		for li, gi := range indexes[i] {
-			slots[gi] = r.s.Slots[li]
+			slots[gi] = r.Slots[li]
 		}
-		optimal = optimal && r.s.Optimal
-		nodes += r.s.Nodes
+		optimal = optimal && r.Optimal
+		nodes += r.Nodes
 	}
 	merged, err := work.Evaluate(slots)
 	if err != nil {

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"context"
+	"time"
+
+	"cornet/internal/plan/decompose"
+	"cornet/internal/plan/heuristic"
+	"cornet/internal/plan/model"
+	"cornet/internal/plan/solver"
+)
+
+// SolverLimits bounds the CP search of the model-driven backends; it is
+// the solver package's Options, re-exported so engine callers configure
+// limits without importing the solver directly.
+type SolverLimits = solver.Options
+
+// softBudget caps a backend's soft time budget at ~90% of the context
+// deadline, leaving headroom to assemble and return the best incumbent
+// before the hard deadline cancels the search outright.
+func softBudget(ctx context.Context, cur time.Duration) time.Duration {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return cur
+	}
+	rem := time.Until(d) * 9 / 10
+	if rem <= 0 {
+		rem = time.Millisecond
+	}
+	if cur == 0 || rem < cur {
+		return rem
+	}
+	return cur
+}
+
+// fromSchedule converts a model schedule to the engine's uniform result
+// and fills the model-side stats. A schedule that stopped short of an
+// optimality proof (node or time budget, or first-solution mode) is
+// flagged TimedOut: it is the search's best-so-far incumbent.
+func fromSchedule(req *Request, sched model.Schedule, st *Stats) Result {
+	st.Nodes = sched.Nodes
+	st.Objective = sched.Cost
+	st.Conflicts = sched.Conflicts
+	st.TimedOut = !sched.Optimal
+	var assignment map[string]int
+	var leftovers []string
+	if req.Expand != nil {
+		assignment, leftovers = req.Expand(sched)
+	} else {
+		assignment, leftovers = itemAssignment(req.Model, sched)
+	}
+	s := sched
+	return Result{
+		Assignment: assignment,
+		Leftovers:  leftovers,
+		Conflicts:  sched.Conflicts,
+		Makespan:   sched.Makespan,
+		TimedOut:   !sched.Optimal,
+		Schedule:   &s,
+	}
+}
+
+// CPBackend solves the raw constraint model with the branch-and-bound
+// solver, with no decomposition preprocessing. Useful for ablation and
+// for models small enough that contraction overhead is not worth it.
+type CPBackend struct{}
+
+func (CPBackend) Name() string { return "cp" }
+
+func (CPBackend) Supports(req *Request) bool { return req.Model != nil }
+
+func (CPBackend) Solve(ctx context.Context, req *Request, opt Options) (Result, Stats, error) {
+	st := Stats{Backend: "cp"}
+	sopt := opt.Solver
+	sopt.TimeLimit = softBudget(ctx, sopt.TimeLimit)
+	start := time.Now()
+	sched, err := solver.SolveContext(ctx, req.Model, sopt)
+	st.Wall = time.Since(start)
+	if err != nil {
+		return Result{}, st, err
+	}
+	return fromSchedule(req, sched, &st), st, nil
+}
+
+// DecomposedBackend is the paper's model-driven pipeline: consistency
+// contraction, independent-component splitting, and per-component CP
+// solving. It is named "solver" because it is the planner's model-driven
+// path as seen by callers.
+type DecomposedBackend struct {
+	// Contract enables consistency contraction.
+	Contract bool
+	// Split enables independent-component parallel solving.
+	Split bool
+	// Parallelism bounds concurrent component solves (default 4).
+	Parallelism int
+}
+
+func (DecomposedBackend) Name() string { return "solver" }
+
+func (DecomposedBackend) Supports(req *Request) bool { return req.Model != nil }
+
+func (b DecomposedBackend) Solve(ctx context.Context, req *Request, opt Options) (Result, Stats, error) {
+	st := Stats{Backend: b.Name()}
+	sopt := opt.Solver
+	sopt.TimeLimit = softBudget(ctx, sopt.TimeLimit)
+	start := time.Now()
+	sched, err := decompose.SolveContext(ctx, req.Model, decompose.SolveOptions{
+		Solver:      sopt,
+		Contract:    b.Contract,
+		Split:       b.Split,
+		Parallelism: b.Parallelism,
+	})
+	st.Wall = time.Since(start)
+	if err != nil {
+		return Result{}, st, err
+	}
+	return fromSchedule(req, sched, &st), st, nil
+}
+
+// HeuristicBackend runs the Appendix-C Algorithm 1 local search over the
+// request's attribute-grouped instance.
+type HeuristicBackend struct{}
+
+func (HeuristicBackend) Name() string { return "heuristic" }
+
+func (HeuristicBackend) Supports(req *Request) bool { return req.Instance != nil }
+
+func (HeuristicBackend) Solve(ctx context.Context, req *Request, opt Options) (Result, Stats, error) {
+	inst := *req.Instance
+	inst.TimeLimit = softBudget(ctx, inst.TimeLimit)
+	st := Stats{Backend: "heuristic", Restarts: inst.Restarts}
+	if st.Restarts == 0 {
+		st.Restarts = 8 // the instance's documented default
+	}
+	start := time.Now()
+	hres, err := heuristic.SolveContext(ctx, inst)
+	st.Wall = time.Since(start)
+	if err != nil {
+		return Result{}, st, err
+	}
+	st.Objective = hres.WTCT
+	st.Conflicts = hres.Conflicts
+	st.TimedOut = hres.TimedOut
+	return Result{
+		Assignment: hres.Slots,
+		Leftovers:  append([]string(nil), hres.Leftovers...),
+		Conflicts:  hres.Conflicts,
+		Makespan:   hres.Makespan,
+		TimedOut:   hres.TimedOut,
+	}, st, nil
+}

@@ -19,6 +19,8 @@
 package heuristic
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -45,7 +47,10 @@ type Instance struct {
 	Restarts int
 	// Seed makes permutation generation reproducible.
 	Seed int64
-	// TimeLimit is the stopping criterion; 0 means restart-bounded only.
+	// TimeLimit is the search budget; 0 means restart-bounded only. The
+	// budget is honoured mid-permutation: when it expires the current pass
+	// is abandoned and the best schedule found so far is returned with
+	// Result.TimedOut set, so a 100K-node instance can never run unbounded.
 	TimeLimit time.Duration
 }
 
@@ -61,17 +66,79 @@ type Result struct {
 	WTCT int64
 	// Makespan is the highest used slot index + 1.
 	Makespan int
+	// TimedOut reports that the TimeLimit budget expired before the restart
+	// loop completed: Slots holds the best schedule found so far and
+	// unvisited work is listed in Leftovers.
+	TimedOut bool
+}
+
+// budget is the search stopper shared by every loop level: it tracks the
+// soft TimeLimit deadline (return best-so-far, TimedOut) and hard context
+// cancellation (abort with an error). Checks are rate-limited so the hot
+// placement loops pay one counter increment per call.
+type budget struct {
+	ctx      context.Context
+	deadline time.Time
+	calls    uint
+	timedOut bool
+	err      error
+}
+
+func newBudget(ctx context.Context, limit time.Duration) *budget {
+	b := &budget{ctx: ctx}
+	if limit > 0 {
+		b.deadline = time.Now().Add(limit)
+	}
+	return b
+}
+
+// exceeded performs a rate-limited budget check; once tripped it stays
+// tripped.
+func (b *budget) exceeded() bool {
+	if b.timedOut || b.err != nil {
+		return true
+	}
+	b.calls++
+	if b.calls&63 != 0 {
+		return false
+	}
+	return b.check()
+}
+
+// check is the unthrottled probe, used at loop boundaries.
+func (b *budget) check() bool {
+	if b.timedOut || b.err != nil {
+		return true
+	}
+	if err := b.ctx.Err(); err != nil {
+		b.err = err
+		return true
+	}
+	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+		b.timedOut = true
+		return true
+	}
+	return false
 }
 
 // Solve runs Algorithm 1 over every timezone sequentially.
+//
+// Deprecated: use SolveContext, which supports cancellation and reports
+// budget expiry as an error-free best-so-far result.
 func Solve(inst Instance) Result {
+	r, _ := SolveContext(context.Background(), inst)
+	return r
+}
+
+// SolveContext runs Algorithm 1 over every timezone sequentially. When the
+// instance's TimeLimit expires mid-search the best schedule found so far is
+// returned with TimedOut set; when ctx is cancelled the partial result is
+// returned together with an error wrapping ctx.Err().
+func SolveContext(ctx context.Context, inst Instance) (Result, error) {
 	if inst.Restarts <= 0 {
 		inst.Restarts = 8
 	}
-	deadline := time.Time{}
-	if inst.TimeLimit > 0 {
-		deadline = time.Now().Add(inst.TimeLimit)
-	}
+	bud := newBudget(ctx, inst.TimeLimit)
 	rng := rand.New(rand.NewSource(inst.Seed))
 
 	// Sort timezones by UTC offset (e.g. Eastern -5 before Central -6 in
@@ -94,13 +161,13 @@ func Solve(inst Instance) Result {
 	cap := newCapTracker(inst)
 	startSlot := 0
 	for _, tz := range tzs {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			// Window exhausted by time budget: push the rest as leftovers.
+		if bud.check() {
+			// Search budget exhausted: push the rest as leftovers.
 			total.Leftovers = append(total.Leftovers, tzGroups[tz]...)
 			continue
 		}
 		sub := inst.subInstance(tzGroups[tz])
-		best := solveTimezone(inst, sub, cap, startSlot, rng, deadline)
+		best := solveTimezone(inst, sub, cap, startSlot, rng, bud)
 		for id, s := range best.Slots {
 			total.Slots[id] = s
 			cap.commit(id, s, inst)
@@ -122,7 +189,11 @@ func Solve(inst Instance) Result {
 		}
 	}
 	recompute(&total, inst)
-	return total
+	total.TimedOut = bud.timedOut || bud.err != nil
+	if bud.err != nil {
+		return total, fmt.Errorf("heuristic: search aborted: %w", bud.err)
+	}
+	return total, nil
 }
 
 // node holds the attributes Algorithm 1 groups by.
@@ -261,20 +332,26 @@ func (c *capTracker) slotFull(slot int, inst Instance) bool {
 
 // solveTimezone runs the restart loop (Algorithm 1 lines 2-23) for one
 // timezone's nodes starting at startSlot.
-func solveTimezone(inst Instance, sp subProblem, committed *capTracker, startSlot int, rng *rand.Rand, deadline time.Time) Result {
+func solveTimezone(inst Instance, sp subProblem, committed *capTracker, startSlot int, rng *rand.Rand, bud *budget) Result {
 	var best Result
 	bestSet := false
 	for restart := 0; restart < inst.Restarts; restart++ {
-		if !deadline.IsZero() && time.Now().After(deadline) && bestSet {
+		if bud.check() && bestSet {
 			break
 		}
 		perm := append([]string(nil), sp.markets...)
 		if restart > 0 { // first pass uses the deterministic sorted order
 			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 		}
-		cand := scheduleOnce(inst, sp, committed.clone(inst), startSlot, perm)
+		cand, aborted := scheduleOnce(inst, sp, committed.clone(inst), startSlot, perm, bud)
+		if aborted && bestSet {
+			break // discard the partial pass, keep the completed best
+		}
 		if !bestSet || better(cand, best) {
 			best, bestSet = cand, true
+		}
+		if aborted {
+			break
 		}
 	}
 	return best
@@ -293,9 +370,13 @@ func better(a, b Result) bool {
 	return a.WTCT < b.WTCT
 }
 
-// scheduleOnce performs one pass over a market permutation.
-func scheduleOnce(inst Instance, sp subProblem, cap *capTracker, startSlot int, markets []string) Result {
-	res := Result{Slots: map[string]int{}}
+// scheduleOnce performs one pass over a market permutation. The budget is
+// consulted throughout the pass (per slot advance and per USID placement);
+// when it trips the pass stops where it stands, the unplaced remainder is
+// reported as leftovers, and aborted is returned true so callers can
+// discard the partial candidate when a completed one exists.
+func scheduleOnce(inst Instance, sp subProblem, cap *capTracker, startSlot int, markets []string, bud *budget) (res Result, aborted bool) {
+	res = Result{Slots: map[string]int{}}
 	cur := startSlot
 	place := func(ids []string, slot int) {
 		for _, id := range ids {
@@ -303,10 +384,15 @@ func scheduleOnce(inst Instance, sp subProblem, cap *capTracker, startSlot int, 
 			res.Slots[id] = slot
 		}
 	}
+pass:
 	for _, mkt := range markets {
 		remTACs := append([]string(nil), sp.tacsByMarket[mkt]...)
 		marketLo := cur
 		for len(remTACs) > 0 && cur < inst.MaxTimeslots {
+			if bud.exceeded() {
+				aborted = true
+				break pass
+			}
 			if cap.slotFull(cur, inst) {
 				cur++
 				continue
@@ -329,6 +415,10 @@ func scheduleOnce(inst Instance, sp subProblem, cap *capTracker, startSlot int, 
 			for _, tac := range remTACs {
 				complete := true
 				for _, usid := range sp.usidsByTAC[tac] {
+					if bud.exceeded() {
+						aborted = true
+						break pass
+					}
 					ids := sp.nodesByUSID[usid]
 					if _, done := res.Slots[ids[0]]; done {
 						continue
@@ -362,6 +452,10 @@ func scheduleOnce(inst Instance, sp subProblem, cap *capTracker, startSlot int, 
 		// whatever still does not fit becomes leftover work.
 		for _, tac := range remTACs {
 			for _, usid := range sp.usidsByTAC[tac] {
+				if bud.exceeded() {
+					aborted = true
+					break pass
+				}
 				ids := sp.nodesByUSID[usid]
 				if _, done := res.Slots[ids[0]]; done {
 					continue
@@ -383,8 +477,18 @@ func scheduleOnce(inst Instance, sp subProblem, cap *capTracker, startSlot int, 
 			}
 		}
 	}
+	if aborted {
+		// Whatever the truncated pass did not reach is unscheduled work;
+		// rebuild from scratch so salvage-pass leftovers are not duplicated.
+		res.Leftovers = res.Leftovers[:0]
+		for _, n := range sp.nodes {
+			if _, done := res.Slots[n.id]; !done {
+				res.Leftovers = append(res.Leftovers, n.id)
+			}
+		}
+	}
 	recompute(&res, inst)
-	return res
+	return res, aborted
 }
 
 func groupConflicts(inst Instance, ids []string, slot int) int {

@@ -1,0 +1,52 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"cornet/internal/plan/model"
+)
+
+func ctxModel() *model.Model {
+	return &model.Model{
+		Name:       "ctx",
+		Items:      items(6),
+		NumSlots:   3,
+		RequireAll: true,
+		Capacities: []model.Capacity{{Name: "g", Sets: [][]int{{0, 1, 2, 3, 4, 5}}, Cap: 2}},
+	}
+}
+
+func TestSolveContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveContext(ctx, ctxModel(), Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestSolveContextDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := SolveContext(ctx, ctxModel(), Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+}
+
+func TestSolveContextBackgroundMatchesSolve(t *testing.T) {
+	want, err := Solve(ctxModel(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveContext(context.Background(), ctxModel(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != want.Makespan || got.Conflicts != want.Conflicts || got.Optimal != want.Optimal {
+		t.Fatalf("SolveContext = %+v, Solve = %+v", got, want)
+	}
+}

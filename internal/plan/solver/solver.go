@@ -16,6 +16,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -51,14 +52,34 @@ func (o Options) withDefaults() Options {
 var ErrInfeasible = errors.New("solver: model is infeasible")
 
 // Solve searches the model and returns the best schedule found.
+//
+// Deprecated: use SolveContext, which supports cancellation and deadlines.
 func Solve(m *model.Model, opt Options) (model.Schedule, error) {
+	return SolveContext(context.Background(), m, opt)
+}
+
+// SolveContext searches the model and returns the best schedule found.
+//
+// The search honours two distinct time bounds: Options.TimeLimit expiry
+// returns the best incumbent found so far (soft budget), while ctx
+// cancellation or deadline expiry aborts the search with an error wrapping
+// ctx.Err() (hard stop — the portfolio engine uses this to kill losing
+// backends).
+func SolveContext(ctx context.Context, m *model.Model, opt Options) (model.Schedule, error) {
+	if err := ctx.Err(); err != nil {
+		return model.Schedule{}, fmt.Errorf("solver: %w", err)
+	}
 	opt = opt.withDefaults()
 	m.Normalize()
 	if err := m.Validate(); err != nil {
 		return model.Schedule{}, err
 	}
 	s := newState(m, opt)
+	s.ctx = ctx
 	s.search(0)
+	if s.ctxErr != nil {
+		return model.Schedule{}, fmt.Errorf("solver: search aborted after %d nodes: %w", s.nodes, s.ctxErr)
+	}
 	if s.bestSlots == nil {
 		if s.complete {
 			return model.Schedule{}, ErrInfeasible
@@ -143,6 +164,8 @@ type state struct {
 	deadline time.Time
 	complete bool
 	stopped  bool
+	ctx      context.Context
+	ctxErr   error
 }
 
 func newState(m *model.Model, opt Options) *state {
@@ -581,10 +604,18 @@ func (s *state) search(pos int) {
 		return
 	}
 	s.nodes++
-	if s.nodes&1023 == 0 && time.Now().After(s.deadline) {
-		s.stopped = true
-		s.complete = false
-		return
+	if s.nodes&1023 == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.ctxErr = err
+			s.stopped = true
+			s.complete = false
+			return
+		}
+		if time.Now().After(s.deadline) {
+			s.stopped = true
+			s.complete = false
+			return
+		}
 	}
 	if s.nodes > s.opt.MaxNodes {
 		s.stopped = true

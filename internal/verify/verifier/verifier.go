@@ -13,9 +13,11 @@
 package verifier
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"cornet/internal/inventory"
@@ -106,7 +108,17 @@ type Verifier struct {
 
 // Verify runs a rule for a study group that changed at the given per-
 // instance sample indexes, against a control group.
+//
+// Deprecated: use VerifyContext, which supports cancellation and deadlines.
 func (v *Verifier) Verify(rule Rule, study []string, changeAt map[string]int, control []string) (*Report, error) {
+	return v.VerifyContext(context.Background(), rule, study, changeAt, control)
+}
+
+// VerifyContext runs a rule for a study group that changed at the given
+// per-instance sample indexes, against a control group. Cancelling ctx
+// stops the KPI worker pool between KPI evaluations and returns an error
+// wrapping ctx.Err().
+func (v *Verifier) VerifyContext(ctx context.Context, rule Rule, study []string, changeAt map[string]int, control []string) (*Report, error) {
 	start := time.Now()
 	if len(study) == 0 || len(control) == 0 {
 		return nil, fmt.Errorf("verifier: study and control groups must be non-empty")
@@ -156,22 +168,32 @@ func (v *Verifier) Verify(rule Rule, study []string, changeAt map[string]int, co
 		workers = 4
 	}
 	jobs := make(chan job)
-	done := make(chan error, workers)
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
 			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // drain the queue without doing the work
+				}
 				res := v.verifyKPI(j.def, rule, study, changeAt, control, ctrlChange, maxPost, alpha)
 				results[j.idx] = res
 			}
-			done <- nil
 		}()
 	}
+feed:
 	for i, def := range defs {
-		jobs <- job{i, def}
+		select {
+		case jobs <- job{i, def}:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
-	for w := 0; w < workers; w++ {
-		<-done
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("verifier: %w", err)
 	}
 
 	for _, r := range results {
