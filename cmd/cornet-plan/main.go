@@ -5,7 +5,7 @@
 //
 //	cornet-plan -intent intent.json [-inventory ran|vpn|sdwan] [-size N]
 //	            [-render] [-backend auto|solver|heuristic|portfolio]
-//	            [-timeout D] [-stats] [-seed N]
+//	            [-timeout D] [-stats] [-seed N] [-parallelism N]
 //
 // The inventory is generated synthetically (this repository's substitute
 // for the production inventory databases); -size controls the element
@@ -14,6 +14,9 @@
 // discovery: at the deadline the best schedule found so far is returned
 // and marked timed-out. -backend portfolio races the solver and the
 // heuristic, keeping the first (or strictly better late) result.
+// -parallelism sets the search worker count per backend (branch-and-bound
+// root workers / heuristic restart pool); 0 uses every CPU, 1 forces
+// sequential search.
 package main
 
 import (
@@ -42,6 +45,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "schedule discovery deadline (0 = backend defaults)")
 		showStats  = flag.Bool("stats", false, "print per-backend search statistics")
 		seed       = flag.Int64("seed", 1, "generator seed")
+		parallel   = flag.Int("parallelism", 0, "search workers per backend (0 = all CPUs, 1 = sequential)")
 		maxShow    = flag.Int("show", 8, "max elements to list per timeslot")
 	)
 	flag.Parse()
@@ -75,6 +79,7 @@ func main() {
 		Topology:    net.Topo,
 		RenderModel: *render,
 		Seed:        *seed,
+		Parallelism: *parallel,
 	}
 	spec := *backend
 	if *force != "" {
@@ -111,6 +116,12 @@ func main() {
 			}
 			line := fmt.Sprintf("  %s backend=%-9s wall=%-12v nodes=%d restarts=%d objective=%d conflicts=%d",
 				marker, st.Backend, st.Wall, st.Nodes, st.Restarts, st.Objective, st.Conflicts)
+			if st.Workers > 0 {
+				line += fmt.Sprintf(" workers=%d", st.Workers)
+				if st.NodesPerWorker > 0 {
+					line += fmt.Sprintf(" nodes_per_worker=%d", st.NodesPerWorker)
+				}
+			}
 			if st.TimedOut {
 				line += " timed_out=true"
 			}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -180,8 +181,10 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 // server's synthetic RAN inventory. The optional ?backend= query parameter
 // selects the planning policy (auto | solver | heuristic | portfolio); the
 // optional ?timeout= parameter tightens the server's -plan-timeout for
-// this request. Discovery runs under a context derived from the request,
-// so a disconnecting client aborts the search.
+// this request; the optional ?parallelism= parameter sets the search
+// worker count per backend (0 = all CPUs, 1 = sequential). Discovery runs
+// under a context derived from the request, so a disconnecting client
+// aborts the search.
 func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -201,6 +204,14 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		}
 		timeout = d
 	}
+	parallelism := 0
+	if raw := r.URL.Query().Get("parallelism"); raw != "" {
+		parallelism, err = strconv.Atoi(raw)
+		if err != nil || parallelism < 0 {
+			http.Error(w, fmt.Sprintf("bad parallelism %q: want a non-negative integer", raw), http.StatusBadRequest)
+			return
+		}
+	}
 	doc, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -217,29 +228,33 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	res, err := s.f.PlanScheduleContext(ctx, doc, s.net.Inv.Subset(targets), core.PlanOptions{
-		Topology: s.net.Topo,
-		Policy:   policy,
+		Topology:    s.net.Topo,
+		Policy:      policy,
+		Parallelism: parallelism,
 	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
 	type backendStats struct {
-		Backend   string `json:"backend"`
-		WallNS    int64  `json:"wall_ns"`
-		Nodes     int64  `json:"nodes,omitempty"`
-		Restarts  int    `json:"restarts,omitempty"`
-		Objective int64  `json:"objective"`
-		Conflicts int    `json:"conflicts"`
-		TimedOut  bool   `json:"timed_out,omitempty"`
-		Winner    bool   `json:"winner,omitempty"`
-		Err       string `json:"error,omitempty"`
+		Backend        string `json:"backend"`
+		WallNS         int64  `json:"wall_ns"`
+		Nodes          int64  `json:"nodes,omitempty"`
+		Restarts       int    `json:"restarts,omitempty"`
+		Workers        int    `json:"workers,omitempty"`
+		NodesPerWorker int64  `json:"nodes_per_worker,omitempty"`
+		Objective      int64  `json:"objective"`
+		Conflicts      int    `json:"conflicts"`
+		TimedOut       bool   `json:"timed_out,omitempty"`
+		Winner         bool   `json:"winner,omitempty"`
+		Err            string `json:"error,omitempty"`
 	}
 	stats := make([]backendStats, 0, len(res.Stats))
 	for _, st := range res.Stats {
 		stats = append(stats, backendStats{
 			Backend: st.Backend, WallNS: int64(st.Wall), Nodes: st.Nodes,
-			Restarts: st.Restarts, Objective: st.Objective, Conflicts: st.Conflicts,
+			Restarts: st.Restarts, Workers: st.Workers, NodesPerWorker: st.NodesPerWorker,
+			Objective: st.Objective, Conflicts: st.Conflicts,
 			TimedOut: st.TimedOut, Winner: st.Winner, Err: st.Err,
 		})
 	}

@@ -190,6 +190,52 @@ func TestPlanEndpoint(t *testing.T) {
 	}
 }
 
+func TestPlanEndpointParallelism(t *testing.T) {
+	_, srv := testServer(t)
+	doc := `{
+	  "scheduling_window": {"start": "2022-03-01 00:00:00", "end": "2022-03-15 00:00:00",
+	    "granularity": {"metric":"day","value":1}},
+	  "schedulable_attribute": "common_id",
+	  "constraints": [
+	    {"name": "concurrency", "base_attribute": "common_id", "default_capacity": 30}
+	  ]
+	}`
+	resp, err := http.Post(srv.URL+"/api/plan?parallelism=2", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan status = %s", resp.Status)
+	}
+	var out struct {
+		Stats []struct {
+			Backend string `json:"backend"`
+			Workers int    `json:"workers"`
+		}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Stats) == 0 {
+		t.Fatal("no backend stats in plan response")
+	}
+	for _, st := range out.Stats {
+		if st.Workers <= 0 {
+			t.Fatalf("backend %s reported workers = %d, want > 0", st.Backend, st.Workers)
+		}
+	}
+	// A malformed parallelism value is a 400.
+	resp2, err := http.Post(srv.URL+"/api/plan?parallelism=banana", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad parallelism status = %s", resp2.Status)
+	}
+}
+
 func TestMethodGuards(t *testing.T) {
 	_, srv := testServer(t)
 	for _, path := range []string{"/api/wf/deploy", "/api/wf/execute", "/api/plan"} {

@@ -183,6 +183,10 @@ type PlanOptions struct {
 	HeuristicSlotCapacity int
 	HeuristicEMSCapacity  int
 	Seed                  int64
+	// Parallelism is the per-backend search worker count (branch-and-bound
+	// root workers for the solver, restart pool size for the heuristic).
+	// 0 means GOMAXPROCS; 1 forces sequential search.
+	Parallelism int
 }
 
 // PlanSchedule runs the full planning pipeline over a background context.
@@ -294,6 +298,7 @@ func (f *Framework) PlanScheduleRequestContext(ctx context.Context, req *intent.
 		Policy:         policy,
 		ScaleThreshold: f.ScaleThreshold,
 		Solver:         f.SolverOptions,
+		Parallelism:    opt.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -359,6 +364,7 @@ func (f *Framework) heuristicInstance(req *intent.Request, inv *inventory.Invent
 		Conflicts:    slotConflicts,
 		Restarts:     f.HeuristicRestarts,
 		Seed:         opt.Seed,
+		Parallelism:  opt.Parallelism,
 	}, slots, nil
 }
 

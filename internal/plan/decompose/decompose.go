@@ -190,6 +190,7 @@ func Contract(m *model.Model) (*model.Model, func(model.Schedule) model.Schedule
 		}
 		out.Optimal = s.Optimal
 		out.Nodes = s.Nodes
+		out.Workers = s.Workers
 		return out
 	}
 	return c, expand, nil
@@ -465,6 +466,7 @@ func SolveContext(ctx context.Context, m *model.Model, opt SolveOptions) (model.
 	slots := make([]int, len(work.Items))
 	optimal := true
 	var nodes int64
+	workers := 0
 	for i, r := range results {
 		if !solved[i] {
 			return model.Schedule{}, fmt.Errorf("decompose: component %d: not solved", i)
@@ -474,6 +476,9 @@ func SolveContext(ctx context.Context, m *model.Model, opt SolveOptions) (model.
 		}
 		optimal = optimal && r.Optimal
 		nodes += r.Nodes
+		if r.Workers > workers {
+			workers = r.Workers
+		}
 	}
 	merged, err := work.Evaluate(slots)
 	if err != nil {
@@ -481,6 +486,7 @@ func SolveContext(ctx context.Context, m *model.Model, opt SolveOptions) (model.
 	}
 	merged.Optimal = optimal
 	merged.Nodes = nodes
+	merged.Workers = workers
 	if v := work.Check(slots); len(v) > 0 {
 		return model.Schedule{}, fmt.Errorf("decompose: merged schedule infeasible: %v", v[0])
 	}

@@ -42,6 +42,10 @@ func fromSchedule(req *Request, sched model.Schedule, st *Stats) Result {
 	st.Objective = sched.Cost
 	st.Conflicts = sched.Conflicts
 	st.TimedOut = !sched.Optimal
+	st.Workers = sched.Workers
+	if st.Workers > 0 {
+		st.NodesPerWorker = st.Nodes / int64(st.Workers)
+	}
 	var assignment map[string]int
 	var leftovers []string
 	if req.Expand != nil {
@@ -73,6 +77,9 @@ func (CPBackend) Solve(ctx context.Context, req *Request, opt Options) (Result, 
 	st := Stats{Backend: "cp"}
 	sopt := opt.Solver
 	sopt.TimeLimit = softBudget(ctx, sopt.TimeLimit)
+	if sopt.Parallelism == 0 {
+		sopt.Parallelism = opt.Parallelism
+	}
 	start := time.Now()
 	sched, err := solver.SolveContext(ctx, req.Model, sopt)
 	st.Wall = time.Since(start)
@@ -103,6 +110,9 @@ func (b DecomposedBackend) Solve(ctx context.Context, req *Request, opt Options)
 	st := Stats{Backend: b.Name()}
 	sopt := opt.Solver
 	sopt.TimeLimit = softBudget(ctx, sopt.TimeLimit)
+	if sopt.Parallelism == 0 {
+		sopt.Parallelism = opt.Parallelism
+	}
 	start := time.Now()
 	sched, err := decompose.SolveContext(ctx, req.Model, decompose.SolveOptions{
 		Solver:      sopt,
@@ -128,6 +138,9 @@ func (HeuristicBackend) Supports(req *Request) bool { return req.Instance != nil
 func (HeuristicBackend) Solve(ctx context.Context, req *Request, opt Options) (Result, Stats, error) {
 	inst := *req.Instance
 	inst.TimeLimit = softBudget(ctx, inst.TimeLimit)
+	if inst.Parallelism == 0 {
+		inst.Parallelism = opt.Parallelism
+	}
 	st := Stats{Backend: "heuristic", Restarts: inst.Restarts}
 	if st.Restarts == 0 {
 		st.Restarts = 8 // the instance's documented default
@@ -141,6 +154,7 @@ func (HeuristicBackend) Solve(ctx context.Context, req *Request, opt Options) (R
 	st.Objective = hres.WTCT
 	st.Conflicts = hres.Conflicts
 	st.TimedOut = hres.TimedOut
+	st.Workers = hres.Workers
 	return Result{
 		Assignment: hres.Slots,
 		Leftovers:  append([]string(nil), hres.Leftovers...),

@@ -106,6 +106,12 @@ type Stats struct {
 	Nodes int64
 	// Restarts is the local-search restart budget (heuristic backend).
 	Restarts int
+	// Workers is the search parallelism the backend actually used (0 when
+	// the backend predates parallel search or did not report it).
+	Workers int
+	// NodesPerWorker is Nodes/Workers for model-driven backends — the mean
+	// per-worker exploration effort (0 when Workers is unknown).
+	NodesPerWorker int64
 	// Objective is the backend's own objective value (model cost for the
 	// solver backends, weighted total completion time for the heuristic).
 	Objective int64
@@ -127,6 +133,12 @@ type Options struct {
 	ScaleThreshold int
 	// Solver bounds the CP search of the model-driven backends.
 	Solver SolverLimits
+	// Parallelism is the per-backend search worker count: branch-and-bound
+	// root-splitting workers for the model-driven backends, restart pool
+	// size for the heuristic. 0 means GOMAXPROCS; 1 forces sequential
+	// search. A non-zero Solver.Parallelism takes precedence for the
+	// model-driven backends.
+	Parallelism int
 }
 
 // Backend is one interchangeable planning implementation. Implementations

@@ -22,8 +22,11 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cornet/internal/inventory"
@@ -45,6 +48,12 @@ type Instance struct {
 	// Restarts is the number of market permutations tried per timezone
 	// (the local-search loop of Algorithm 1). Defaults to 8.
 	Restarts int
+	// Parallelism is the restart worker-pool size: within each timezone
+	// the restarts run concurrently, reduced to the best candidate under a
+	// mutex. 0 means GOMAXPROCS; 1 runs the restarts sequentially. Every
+	// restart derives its RNG from (Seed, timezone index, restart index),
+	// so the result is identical at any parallelism level.
+	Parallelism int
 	// Seed makes permutation generation reproducible.
 	Seed int64
 	// TimeLimit is the search budget; 0 means restart-bounded only. The
@@ -70,6 +79,8 @@ type Result struct {
 	// loop completed: Slots holds the best schedule found so far and
 	// unvisited work is listed in Leftovers.
 	TimedOut bool
+	// Workers is the restart worker-pool size the search ran with.
+	Workers int
 }
 
 // budget is the search stopper shared by every loop level: it tracks the
@@ -90,6 +101,24 @@ func newBudget(ctx context.Context, limit time.Duration) *budget {
 		b.deadline = time.Now().Add(limit)
 	}
 	return b
+}
+
+// fork derives an independent budget sharing the same context and
+// absolute deadline, so each restart worker can count and trip on its own
+// without racing the others.
+func (b *budget) fork() *budget {
+	return &budget{ctx: b.ctx, deadline: b.deadline}
+}
+
+// absorb folds a forked worker budget's trip state back into the parent
+// (called single-threaded, after the workers join).
+func (b *budget) absorb(w *budget) {
+	if w.timedOut {
+		b.timedOut = true
+	}
+	if w.err != nil && b.err == nil {
+		b.err = w.err
+	}
 }
 
 // exceeded performs a rate-limited budget check; once tripped it stays
@@ -130,7 +159,10 @@ func Solve(inst Instance) Result {
 	return r
 }
 
-// SolveContext runs Algorithm 1 over every timezone sequentially. When the
+// SolveContext runs Algorithm 1 over every timezone sequentially; within a
+// timezone the restarts run on a worker pool of Instance.Parallelism
+// goroutines (the timezones themselves stay ordered because each one's
+// start slot and committed capacity depend on its predecessor). When the
 // instance's TimeLimit expires mid-search the best schedule found so far is
 // returned with TimedOut set; when ctx is cancelled the partial result is
 // returned together with an error wrapping ctx.Err().
@@ -139,7 +171,6 @@ func SolveContext(ctx context.Context, inst Instance) (Result, error) {
 		inst.Restarts = 8
 	}
 	bud := newBudget(ctx, inst.TimeLimit)
-	rng := rand.New(rand.NewSource(inst.Seed))
 
 	// Sort timezones by UTC offset (e.g. Eastern -5 before Central -6 in
 	// string terms; numeric parse orders correctly).
@@ -157,17 +188,17 @@ func SolveContext(ctx context.Context, inst Instance) (Result, error) {
 		return tzs[i] < tzs[j]
 	})
 
-	total := Result{Slots: map[string]int{}}
+	total := Result{Slots: map[string]int{}, Workers: inst.workerCount()}
 	cap := newCapTracker(inst)
 	startSlot := 0
-	for _, tz := range tzs {
+	for tzIdx, tz := range tzs {
 		if bud.check() {
 			// Search budget exhausted: push the rest as leftovers.
 			total.Leftovers = append(total.Leftovers, tzGroups[tz]...)
 			continue
 		}
 		sub := inst.subInstance(tzGroups[tz])
-		best := solveTimezone(inst, sub, cap, startSlot, rng, bud)
+		best := solveTimezone(inst, sub, cap, startSlot, tzIdx, bud)
 		for id, s := range best.Slots {
 			total.Slots[id] = s
 			cap.commit(id, s, inst)
@@ -330,29 +361,105 @@ func (c *capTracker) slotFull(slot int, inst Instance) bool {
 	return c.slotUse[slot] >= inst.SlotCapacity
 }
 
+// workerCount resolves the restart pool size.
+func (inst Instance) workerCount() int {
+	if inst.Parallelism > 0 {
+		return inst.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// restartSeed derives the deterministic per-restart RNG seed from the
+// instance seed and the (timezone, restart) pair (splitmix64 finalizer),
+// so a restart's permutation does not depend on which worker runs it.
+func restartSeed(seed int64, tz, restart int) int64 {
+	x := uint64(seed) ^ 0x9e3779b97f4a7c15
+	x ^= uint64(tz+1) * 0xbf58476d1ce4e5b9
+	x ^= uint64(restart+1) * 0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
 // solveTimezone runs the restart loop (Algorithm 1 lines 2-23) for one
-// timezone's nodes starting at startSlot.
-func solveTimezone(inst Instance, sp subProblem, committed *capTracker, startSlot int, rng *rand.Rand, bud *budget) Result {
-	var best Result
-	bestSet := false
-	for restart := 0; restart < inst.Restarts; restart++ {
-		if bud.check() && bestSet {
-			break
+// timezone's nodes starting at startSlot. Restarts are dealt to a pool of
+// workers and reduced under a mutex to the best candidate by Algorithm 1's
+// lexicographic order, ties broken by lowest restart index — making the
+// outcome a pure function of the candidate set, independent of worker
+// count and goroutine scheduling.
+func solveTimezone(inst Instance, sp subProblem, committed *capTracker, startSlot, tzIndex int, bud *budget) Result {
+	workers := inst.workerCount()
+	if workers > inst.Restarts {
+		workers = inst.Restarts
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		mu          sync.Mutex
+		best        Result
+		bestRestart int
+		bestSet     bool
+		bestAborted bool
+	)
+	reduce := func(cand Result, restart int, aborted bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		take := false
+		switch {
+		case !bestSet:
+			take = true
+		case bestAborted && !aborted:
+			take = true // a completed pass beats any truncated one
+		case !bestAborted && aborted:
+			// keep the completed best
+		case better(cand, best):
+			take = true
+		case !better(best, cand) && restart < bestRestart:
+			take = true // equal rank: canonical lowest-restart tie-break
 		}
-		perm := append([]string(nil), sp.markets...)
-		if restart > 0 { // first pass uses the deterministic sorted order
-			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if take {
+			best, bestRestart, bestSet, bestAborted = cand, restart, true, aborted
 		}
-		cand, aborted := scheduleOnce(inst, sp, committed.clone(inst), startSlot, perm, bud)
-		if aborted && bestSet {
-			break // discard the partial pass, keep the completed best
-		}
-		if !bestSet || better(cand, best) {
-			best, bestSet = cand, true
-		}
-		if aborted {
-			break
-		}
+	}
+	var next atomic.Int64
+	forks := make([]*budget, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wbud := bud.fork()
+		forks[w] = wbud
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				restart := int(next.Add(1)) - 1
+				if restart >= inst.Restarts {
+					return
+				}
+				// Restart 0 always runs — it is the pass a budget trip
+				// degrades to; later restarts stop once the budget is gone.
+				if restart > 0 && wbud.check() {
+					return
+				}
+				perm := append([]string(nil), sp.markets...)
+				if restart > 0 { // restart 0 uses the deterministic sorted order
+					rng := rand.New(rand.NewSource(restartSeed(inst.Seed, tzIndex, restart)))
+					rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+				}
+				cand, aborted := scheduleOnce(inst, sp, committed.clone(inst), startSlot, perm, wbud)
+				reduce(cand, restart, aborted)
+				if aborted {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, wbud := range forks {
+		bud.absorb(wbud)
 	}
 	return best
 }

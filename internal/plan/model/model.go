@@ -424,6 +424,9 @@ type Schedule struct {
 	// limit with the best incumbent).
 	Optimal bool
 	Nodes   int64 // search nodes explored
+	// Workers is the parallel search worker count that produced the
+	// schedule (0 when the producer predates parallel search).
+	Workers int
 }
 
 // Weight returns item i's effective weight (>=1).

@@ -1,0 +1,233 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cornet/internal/plan/model"
+)
+
+// randomModel builds a feasible seeded model exercising capacities,
+// conflicts, and consistency groups — the mix the root-split search must
+// reproduce sequentially-identical costs on.
+func randomModel(seed int64) *model.Model {
+	rng := rand.New(rand.NewSource(seed))
+	n := 7 + rng.Intn(6)
+	slots := 4 + rng.Intn(2)
+	cap := 3 + rng.Intn(2)
+	if cap*slots < n {
+		cap = (n + slots - 1) / slots
+	}
+	m := &model.Model{
+		Name:       "par-rand",
+		Items:      items(n),
+		NumSlots:   slots,
+		RequireAll: rng.Intn(2) == 0,
+		Capacities: []model.Capacity{{Name: "g", Sets: [][]int{r(n)}, Cap: cap}},
+	}
+	m.ConflictSlots = make([][]int, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			m.ConflictSlots[i] = []int{rng.Intn(slots)}
+		}
+	}
+	if rng.Intn(2) == 0 {
+		m.SameSlot = [][]int{{0, 1}}
+	}
+	return m
+}
+
+// TestSolverParallelMatchesSequential is the determinism contract: on a
+// complete search the parallel solver proves the same optimal cost as the
+// sequential one, whatever the worker count.
+func TestSolverParallelMatchesSequential(t *testing.T) {
+	limits := Options{MaxNodes: 30_000_000, TimeLimit: time.Minute}
+	for seed := int64(1); seed <= 7; seed++ {
+		seqOpt := limits
+		seqOpt.Parallelism = 1
+		seq, err := Solve(randomModel(seed), seqOpt)
+		if err != nil {
+			t.Fatalf("seed %d sequential: %v", seed, err)
+		}
+		for _, workers := range []int{2, 4} {
+			parOpt := limits
+			parOpt.Parallelism = workers
+			par, err := Solve(randomModel(seed), parOpt)
+			if err != nil {
+				t.Fatalf("seed %d workers=%d: %v", seed, workers, err)
+			}
+			if !seq.Optimal || !par.Optimal {
+				t.Fatalf("seed %d workers=%d: optimality seq=%v par=%v", seed, workers, seq.Optimal, par.Optimal)
+			}
+			if par.Cost != seq.Cost {
+				t.Fatalf("seed %d workers=%d: cost = %d, sequential = %d", seed, workers, par.Cost, seq.Cost)
+			}
+			if par.Workers != workers && par.Workers > workers {
+				t.Fatalf("seed %d: reported workers = %d, configured %d", seed, par.Workers, workers)
+			}
+			if len(randomModel(seed).Check(par.Slots)) != 0 {
+				t.Fatalf("seed %d workers=%d: parallel schedule violates the model", seed, workers)
+			}
+		}
+	}
+}
+
+// TestSolverParallelSameErrors checks the parallel path mirrors the
+// sequential error contract on infeasible models.
+func TestSolverParallelSameErrors(t *testing.T) {
+	m := &model.Model{
+		Name:       "par-infeasible",
+		Items:      items(5),
+		NumSlots:   1,
+		RequireAll: true,
+		Capacities: []model.Capacity{{Name: "g", Sets: [][]int{{0, 1, 2, 3, 4}}, Cap: 3}},
+	}
+	if _, err := Solve(m, Options{Parallelism: 4}); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+// hardModel is large enough that an unbounded search runs for a long
+// time, so cancellation latency is observable.
+func hardModel() *model.Model {
+	n := 28
+	m := &model.Model{
+		Name:       "par-hard",
+		Items:      items(n),
+		NumSlots:   8,
+		RequireAll: true,
+		Capacities: []model.Capacity{{Name: "g", Sets: [][]int{r(n)}, Cap: 4}},
+	}
+	m.ConflictSlots = make([][]int, n)
+	for i := 0; i < n; i++ {
+		m.ConflictSlots[i] = []int{i % 8}
+	}
+	return m
+}
+
+// TestSolverParallelCancellation shows every worker observes ctx
+// cancellation promptly: SolveContext must return well before the search
+// space is exhausted.
+func TestSolverParallelCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := SolveContext(ctx, hardModel(), Options{Parallelism: 4, TimeLimit: time.Hour, MaxNodes: 1 << 60})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want wrapped context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("workers took %v to observe cancellation", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("parallel solve did not return after cancellation")
+	}
+}
+
+// TestSolveOverlappingSameSlotGroups is the union-find regression test:
+// {0,1} and {1,2} share item 1, so all three items must land on one slot
+// (the pre-fix code silently dropped item 2 from the merged block).
+func TestSolveOverlappingSameSlotGroups(t *testing.T) {
+	m := &model.Model{
+		Name:       "sameslot-overlap",
+		Items:      items(3),
+		NumSlots:   3,
+		RequireAll: true,
+		SameSlot:   [][]int{{0, 1}, {1, 2}},
+		Capacities: []model.Capacity{{Name: "g", Sets: [][]int{{0, 1, 2}}, Cap: 3}},
+	}
+	s, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Slots[0] != s.Slots[1] || s.Slots[1] != s.Slots[2] {
+		t.Fatalf("overlapping SameSlot groups split across slots: %v", s.Slots)
+	}
+	// Three transitively-linked chains collapse the same way.
+	m2 := &model.Model{
+		Name:       "sameslot-chain",
+		Items:      items(5),
+		NumSlots:   4,
+		RequireAll: true,
+		SameSlot:   [][]int{{0, 1}, {2, 3}, {1, 2}},
+		Capacities: []model.Capacity{{Name: "g", Sets: [][]int{{0, 1, 2, 3, 4}}, Cap: 5}},
+	}
+	s2, err := Solve(m2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if s2.Slots[i] != s2.Slots[0] {
+			t.Fatalf("chained SameSlot groups split across slots: %v", s2.Slots)
+		}
+	}
+}
+
+// denseModel is the Section-4.2 dense-template scenario: uniformity and
+// localize constraints active over >=200 items, the shape whose discovery
+// time blows up in the paper's Figure 9.
+func denseModel(n int) *model.Model {
+	if n < 200 {
+		n = 200
+	}
+	groups := 8
+	m := &model.Model{
+		Name:       "dense",
+		Items:      items(n),
+		NumSlots:   12,
+		RequireAll: false,
+		Capacities: []model.Capacity{{Name: "g", Sets: [][]int{r(n)}, Cap: n/12 + 4}},
+	}
+	vals := make([]float64, n)
+	grp := make([][]int, groups)
+	for i := 0; i < n; i++ {
+		g := i % groups
+		vals[i] = float64(g)
+		grp[g] = append(grp[g], i)
+	}
+	m.Uniform = []model.Uniform{{Name: "tz", Values: vals, MaxDist: 1}}
+	m.Localized = []model.Localized{{Name: "market", Groups: grp}}
+	m.ConflictSlots = make([][]int, n)
+	for i := 0; i < n; i++ {
+		if i%5 == 0 {
+			m.ConflictSlots[i] = []int{i % 12}
+		}
+	}
+	return m
+}
+
+// BenchmarkSolverParallel measures root-split scaling on the dense
+// Section-4.2 template at a fixed node budget. On multi-core hardware the
+// 4-worker case should clear 2x over workers=1; per-op nodes/sec is
+// reported so single-core CI still tracks the trajectory.
+func BenchmarkSolverParallel(b *testing.B) {
+	const nodeBudget = 300_000
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var nodes int64
+			for i := 0; i < b.N; i++ {
+				s, err := Solve(denseModel(200), Options{
+					Parallelism: workers,
+					MaxNodes:    nodeBudget,
+					TimeLimit:   time.Hour,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes += s.Nodes
+			}
+			b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/sec")
+		})
+	}
+}

@@ -20,7 +20,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cornet/internal/plan/model"
@@ -28,13 +31,21 @@ import (
 
 // Options bound the search.
 type Options struct {
-	// MaxNodes limits search nodes (0 = default 2e6).
+	// MaxNodes limits search nodes (0 = default 2e6). With parallel
+	// workers the limit is global: workers flush their local counts into a
+	// shared total and stop once it is exhausted.
 	MaxNodes int64
 	// TimeLimit caps wall-clock search time (0 = default 10s).
 	TimeLimit time.Duration
 	// FirstSolutionOnly returns the greedy incumbent without proving
-	// optimality; used by scale experiments.
+	// optimality; used by scale experiments. Forces a single worker so the
+	// greedy result stays deterministic.
 	FirstSolutionOnly bool
+	// Parallelism is the root-split search worker count: the first search
+	// block's start slots (plus the skip branch) are partitioned across
+	// workers that share the incumbent bound. 0 means GOMAXPROCS; 1 runs
+	// the classic sequential search.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +76,12 @@ func Solve(m *model.Model, opt Options) (model.Schedule, error) {
 // cancellation or deadline expiry aborts the search with an error wrapping
 // ctx.Err() (hard stop — the portfolio engine uses this to kill losing
 // backends).
+//
+// With Options.Parallelism != 1 the root of the search tree is split
+// across workers sharing one incumbent bound. A completed parallel search
+// proves the same optimal cost as the sequential one; among equal-cost
+// optima the reported slot vector is tie-broken canonically (lexicographic
+// order over the solutions discovered).
 func SolveContext(ctx context.Context, m *model.Model, opt Options) (model.Schedule, error) {
 	if err := ctx.Err(); err != nil {
 		return model.Schedule{}, fmt.Errorf("solver: %w", err)
@@ -76,6 +93,16 @@ func SolveContext(ctx context.Context, m *model.Model, opt Options) (model.Sched
 	}
 	s := newState(m, opt)
 	s.ctx = ctx
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.FirstSolutionOnly {
+		workers = 1 // keep the greedy incumbent deterministic
+	}
+	if workers > 1 && len(s.order) > 0 {
+		return solveParallel(ctx, m, opt, s, workers)
+	}
 	s.search(0)
 	if s.ctxErr != nil {
 		return model.Schedule{}, fmt.Errorf("solver: search aborted after %d nodes: %w", s.nodes, s.ctxErr)
@@ -92,7 +119,135 @@ func SolveContext(ctx context.Context, m *model.Model, opt Options) (model.Sched
 	}
 	sched.Optimal = s.complete
 	sched.Nodes = s.nodes
+	sched.Workers = 1
 	if v := m.Check(s.bestSlots); len(v) > 0 {
+		return model.Schedule{}, fmt.Errorf("solver: internal error, produced infeasible schedule: %v", v[0])
+	}
+	return sched, nil
+}
+
+// sharedBound is the cross-worker search state: the global incumbent (an
+// atomic bound every worker prunes against plus the mutex-guarded slot
+// vector behind it), the global node count, and the stop flag that fans a
+// hard stop out to all workers.
+type sharedBound struct {
+	bestCost atomic.Int64
+	nodes    atomic.Int64
+	stop     atomic.Bool
+
+	mu        sync.Mutex
+	bestSlots []int
+}
+
+// record publishes an incumbent. Ties on cost keep the lexicographically
+// smallest slot vector so the reported schedule does not depend on which
+// worker finished first.
+func (sh *sharedBound) record(cost int64, slots []int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur := sh.bestCost.Load()
+	if cost > cur {
+		return
+	}
+	if cost == cur && !lexLess(slots, sh.bestSlots) {
+		return
+	}
+	sh.bestCost.Store(cost)
+	sh.bestSlots = slots
+}
+
+func lexLess(a, b []int) bool {
+	if b == nil {
+		return true
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// solveParallel splits the search at the root: the first block's start
+// slots (and the skip branch when leftovers are allowed) are dealt
+// round-robin to workers, each exploring its subtrees on a private cloned
+// state while pruning against the shared incumbent.
+func solveParallel(ctx context.Context, m *model.Model, opt Options, base *state, workers int) (model.Schedule, error) {
+	rootBi := base.order[0]
+	decisions := make([]int, 0, m.NumSlots+1)
+	for t := 0; t < m.NumSlots; t++ {
+		decisions = append(decisions, t)
+	}
+	if !m.RequireAll {
+		decisions = append(decisions, -1) // the skip branch
+	}
+	if workers > len(decisions) {
+		workers = len(decisions)
+	}
+	sh := &sharedBound{}
+	sh.bestCost.Store(math.MaxInt64)
+	states := make([]*state, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ws := base.clone()
+		ws.ctx = ctx
+		ws.shared = sh
+		states[w] = ws
+		wg.Add(1)
+		go func(w int, ws *state) {
+			defer wg.Done()
+			defer ws.flushNodes()
+			b := &ws.blocks[rootBi]
+			for di := w; di < len(decisions); di += workers {
+				if ws.stopped {
+					return
+				}
+				t := decisions[di]
+				if t < 0 {
+					ws.assigned[rootBi] = -1
+					added := int64(m.SkipPenalty) * int64(b.weight)
+					ws.cost += added
+					ws.search(1)
+					ws.cost -= added
+					ws.assigned[rootBi] = -2
+					continue
+				}
+				if !ws.feasible(b, t) {
+					continue
+				}
+				u, added := ws.place(rootBi, b, t)
+				ws.search(1)
+				ws.unplace(rootBi, b, t, u, added)
+			}
+		}(w, states[w])
+	}
+	wg.Wait()
+	nodes := sh.nodes.Load() + 1 // + the split root node
+	complete := true
+	var ctxErr error
+	for _, ws := range states {
+		complete = complete && ws.complete
+		if ws.ctxErr != nil && ctxErr == nil {
+			ctxErr = ws.ctxErr
+		}
+	}
+	if ctxErr != nil {
+		return model.Schedule{}, fmt.Errorf("solver: search aborted after %d nodes: %w", nodes, ctxErr)
+	}
+	if sh.bestSlots == nil {
+		if complete {
+			return model.Schedule{}, ErrInfeasible
+		}
+		return model.Schedule{}, fmt.Errorf("solver: no feasible solution within limits (%d nodes)", nodes)
+	}
+	sched, err := m.Evaluate(sh.bestSlots)
+	if err != nil {
+		return model.Schedule{}, err
+	}
+	sched.Optimal = complete
+	sched.Nodes = nodes
+	sched.Workers = workers
+	if v := m.Check(sh.bestSlots); len(v) > 0 {
 		return model.Schedule{}, fmt.Errorf("solver: internal error, produced infeasible schedule: %v", v[0])
 	}
 	return sched, nil
@@ -122,13 +277,19 @@ type block struct {
 	// forbidden lists banned START slots: a start is banned when any
 	// member would occupy one of its forbidden slots (sorted).
 	forbidden []int
-	// conflictCount[t] = member-slot collisions when starting at t.
-	conflictCount map[int]int
+	// conflictCount[t] = member-slot collisions when starting at t; nil
+	// when the block has no conflicting member (dense by slot — the map it
+	// replaces dominated the hot placement path).
+	conflictCount []int
 }
 
 type capUse struct {
 	c, set int
 	wOff   []int
+	// prefix[k] = sum(wOff[:k]), precomputed so feasible can take the
+	// within-placement contribution of any bucket segment in O(1) instead
+	// of rescanning earlier offsets per offset.
+	prefix []int
 }
 
 type state struct {
@@ -166,6 +327,12 @@ type state struct {
 	stopped  bool
 	ctx      context.Context
 	ctxErr   error
+
+	// shared is non-nil for parallel workers: the global incumbent bound,
+	// node total, and stop flag. flushed counts the nodes already added to
+	// shared.nodes.
+	shared  *sharedBound
+	flushed int64
 }
 
 func newState(m *model.Model, opt Options) *state {
@@ -174,42 +341,38 @@ func newState(m *model.Model, opt Options) *state {
 	n := len(m.Items)
 	T := m.NumSlots
 
-	// Build blocks from SameSlot groups; remaining items are singletons.
-	inGroup := make([]int, n)
-	for i := range inGroup {
-		inGroup[i] = -1
+	// Build blocks from SameSlot groups via union-find so overlapping
+	// consistency groups merge into one block (the union semantics the
+	// constraint promises); remaining items are singletons.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
 	}
-	for gi, grp := range m.SameSlot {
-		for _, i := range grp {
-			if inGroup[i] != -1 && inGroup[i] != gi {
-				// Overlapping consistency groups: merge later groups into
-				// the first via union. For simplicity treat membership as
-				// belonging to the first group encountered; Validate-level
-				// merging is the translate package's job.
-				continue
-			}
-			inGroup[i] = gi
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
 		}
+		return x
+	}
+	for _, grp := range m.SameSlot {
+		for i := 1; i < len(grp); i++ {
+			ra, rb := find(grp[0]), find(grp[i])
+			if ra != rb {
+				parent[rb] = ra
+			}
+		}
+	}
+	members := map[int][]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		members[r] = append(members[r], i)
 	}
 	var blocks []block
-	seenGroup := map[int]bool{}
 	for i := 0; i < n; i++ {
-		gi := inGroup[i]
-		if gi < 0 {
-			blocks = append(blocks, block{items: []int{i}})
-			continue
+		if r := find(i); members[r][0] == i {
+			blocks = append(blocks, block{items: members[r]})
 		}
-		if seenGroup[gi] {
-			continue
-		}
-		seenGroup[gi] = true
-		var items []int
-		for j := i; j < n; j++ {
-			if inGroup[j] == gi {
-				items = append(items, j)
-			}
-		}
-		blocks = append(blocks, block{items: items})
 	}
 
 	// Per-item membership maps for constraint bookkeeping.
@@ -313,7 +476,11 @@ func newState(m *model.Model, opt Options) *state {
 			}
 		}
 		for k, wOff := range capW {
-			b.capUse = append(b.capUse, capUse{c: k[0], set: k[1], wOff: wOff})
+			prefix := make([]int, len(wOff)+1)
+			for o, w := range wOff {
+				prefix[o+1] = prefix[o] + w
+			}
+			b.capUse = append(b.capUse, capUse{c: k[0], set: k[1], wOff: wOff, prefix: prefix})
 		}
 		sort.Slice(b.capUse, func(x, y int) bool {
 			if b.capUse[x].c != b.capUse[y].c {
@@ -333,7 +500,14 @@ func newState(m *model.Model, opt Options) *state {
 			b.forbidden = append(b.forbidden, t)
 		}
 		sort.Ints(b.forbidden)
-		b.conflictCount = confl
+		if len(confl) > 0 {
+			b.conflictCount = make([]int, T)
+			for t, c := range confl {
+				if t < T {
+					b.conflictCount[t] = c
+				}
+			}
+		}
 	}
 	s.blocks = blocks
 
@@ -398,6 +572,68 @@ func newState(m *model.Model, opt Options) *state {
 	return s
 }
 
+// clone deep-copies the mutable search state (constraint propagation
+// arrays, assignment, cost) for a parallel worker; the immutable model,
+// blocks, order, and suffix bound are shared.
+func (s *state) clone() *state {
+	c := &state{
+		m: s.m, opt: s.opt, blocks: s.blocks, order: s.order,
+		suffixWeight: s.suffixWeight, bestCost: math.MaxInt64,
+		deadline: s.deadline, complete: true,
+		cost: s.cost, conflicts: s.conflicts,
+	}
+	c.usage = make([][][]int, len(s.usage))
+	for i, sets := range s.usage {
+		c.usage[i] = make([][]int, len(sets))
+		for j, set := range sets {
+			c.usage[i][j] = append([]int(nil), set...)
+		}
+	}
+	c.gcActiveItems = make([][][]int, len(s.gcActiveItems))
+	for i, groups := range s.gcActiveItems {
+		c.gcActiveItems[i] = make([][]int, len(groups))
+		for j, grp := range groups {
+			c.gcActiveItems[i][j] = append([]int(nil), grp...)
+		}
+	}
+	c.gcActiveGroups = make([][]int, len(s.gcActiveGroups))
+	for i, g := range s.gcActiveGroups {
+		c.gcActiveGroups[i] = append([]int(nil), g...)
+	}
+	c.uniLo = cloneF64(s.uniLo)
+	c.uniHi = cloneF64(s.uniHi)
+	c.uniHas = cloneBool(s.uniHas)
+	c.locLo = cloneInt(s.locLo)
+	c.locHi = cloneInt(s.locHi)
+	c.locHas = cloneBool(s.locHas)
+	c.assigned = append([]int(nil), s.assigned...)
+	return c
+}
+
+func cloneF64(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = append([]float64(nil), x...)
+	}
+	return out
+}
+
+func cloneInt(xs [][]int) [][]int {
+	out := make([][]int, len(xs))
+	for i, x := range xs {
+		out[i] = append([]int(nil), x...)
+	}
+	return out
+}
+
+func cloneBool(xs [][]bool) [][]bool {
+	out := make([][]bool, len(xs))
+	for i, x := range xs {
+		out[i] = append([]bool(nil), x...)
+	}
+	return out
+}
+
 func sortPairs(ps [][2]int) {
 	sort.Slice(ps, func(x, y int) bool {
 		if ps[x][0] != ps[y][0] {
@@ -418,17 +654,28 @@ func (s *state) feasible(b *block, t int) bool {
 	}
 	for _, cu := range b.capUse {
 		c := s.m.Capacities[cu.c]
-		// A multi-slot placement can land several offsets in one budget
-		// bucket (a 3-window change inside one week): accumulate the
-		// within-placement contribution per bucket before comparing.
-		for k := range cu.wOff {
-			bk := c.Bucket(t + k)
-			add := 0
-			for k2 := 0; k2 <= k; k2++ {
-				if c.Bucket(t+k2) == bk {
-					add += cu.wOff[k2]
+		if c.BucketSlots <= 1 {
+			// One bucket per slot: each offset contributes only its own
+			// weight.
+			use := s.usage[cu.c][cu.set]
+			for k, w := range cu.wOff {
+				if use[t+k]+w > c.Cap {
+					return false
 				}
 			}
+			continue
+		}
+		// A multi-slot placement can land several offsets in one budget
+		// bucket (a 3-window change inside one week): the within-placement
+		// contribution to offset k's bucket is the prefix-sum span of the
+		// offsets sharing that bucket, precomputed at newState time.
+		for k := range cu.wOff {
+			bk := c.Bucket(t + k)
+			segStart := bk*c.BucketSlots - t
+			if segStart < 0 {
+				segStart = 0
+			}
+			add := cu.prefix[k+1] - cu.prefix[segStart]
 			if s.usage[cu.c][cu.set][bk]+add > c.Cap {
 				return false
 			}
@@ -551,7 +798,7 @@ func (s *state) place(bi int, b *block, t int) (undoRec, int64) {
 	}
 	s.assigned[bi] = t
 	added := int64(t)*int64(b.weight) + b.costConst
-	if !s.m.ZeroConflict {
+	if !s.m.ZeroConflict && b.conflictCount != nil {
 		if c := b.conflictCount[t]; c > 0 {
 			s.conflicts += int64(c)
 			added += int64(s.m.BigM) * int64(c)
@@ -586,7 +833,7 @@ func (s *state) unplace(bi int, b *block, t int, u undoRec, added int64) {
 	}
 	s.assigned[bi] = -2
 	s.cost -= added
-	if !s.m.ZeroConflict {
+	if !s.m.ZeroConflict && b.conflictCount != nil {
 		if c := b.conflictCount[t]; c > 0 {
 			s.conflicts -= int64(c)
 		}
@@ -599,33 +846,82 @@ func (s *state) lowerBoundRemaining(pos int) int64 {
 	return s.suffixWeight[pos]
 }
 
+// flushNodes adds this worker's not-yet-flushed node count to the shared
+// total.
+func (s *state) flushNodes() {
+	if s.shared != nil && s.nodes > s.flushed {
+		s.shared.nodes.Add(s.nodes - s.flushed)
+		s.flushed = s.nodes
+	}
+}
+
+// checkBudget is the rate-limited slow path of search: context, deadline,
+// and node-limit checks, plus — for parallel workers — node-count flushing
+// and stop-flag propagation to and from the other workers.
+func (s *state) checkBudget() {
+	if err := s.ctx.Err(); err != nil {
+		s.ctxErr = err
+		s.stopped = true
+		s.complete = false
+		if s.shared != nil {
+			s.shared.stop.Store(true)
+		}
+		return
+	}
+	if time.Now().After(s.deadline) {
+		s.stopped = true
+		s.complete = false
+		if s.shared != nil {
+			s.shared.stop.Store(true)
+		}
+		return
+	}
+	if s.shared == nil {
+		return
+	}
+	s.flushNodes()
+	if s.shared.stop.Load() || s.shared.nodes.Load() > s.opt.MaxNodes {
+		s.stopped = true
+		s.complete = false
+	}
+}
+
+// bound returns the cost bound to prune against, syncing the local view
+// with the shared incumbent first.
+func (s *state) bound() int64 {
+	if s.shared != nil {
+		if g := s.shared.bestCost.Load(); g < s.bestCost {
+			s.bestCost = g
+		}
+	}
+	return s.bestCost
+}
+
 func (s *state) search(pos int) {
 	if s.stopped {
 		return
 	}
 	s.nodes++
 	if s.nodes&1023 == 0 {
-		if err := s.ctx.Err(); err != nil {
-			s.ctxErr = err
-			s.stopped = true
-			s.complete = false
-			return
-		}
-		if time.Now().After(s.deadline) {
-			s.stopped = true
-			s.complete = false
+		s.checkBudget()
+		if s.stopped {
 			return
 		}
 	}
-	if s.nodes > s.opt.MaxNodes {
+	if s.shared == nil && s.nodes > s.opt.MaxNodes {
 		s.stopped = true
 		s.complete = false
 		return
 	}
 	if pos == len(s.order) {
-		if s.cost < s.bestCost {
-			s.bestCost = s.cost
-			s.bestSlots = s.extractSlots()
+		if s.cost < s.bound() {
+			if s.shared != nil {
+				s.shared.record(s.cost, s.extractSlots())
+				s.bestCost = s.shared.bestCost.Load()
+			} else {
+				s.bestCost = s.cost
+				s.bestSlots = s.extractSlots()
+			}
 			if s.opt.FirstSolutionOnly {
 				s.stopped = true
 				s.complete = false
@@ -633,7 +929,7 @@ func (s *state) search(pos int) {
 		}
 		return
 	}
-	if s.cost+s.lowerBoundRemaining(pos) >= s.bestCost {
+	if s.cost+s.lowerBoundRemaining(pos) >= s.bound() {
 		return
 	}
 	bi := s.order[pos]
