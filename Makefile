@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check race bench check
+.PHONY: all build test vet fmt-check race bench cover check
 
 all: check
 
@@ -20,10 +20,15 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# The planning and orchestration packages are the concurrency-heavy core
-# (portfolio racing, component workers, dispatcher): keep them race-clean.
+# The planning, orchestration, and telemetry packages are the
+# concurrency-heavy core (portfolio racing, component workers, dispatcher,
+# shared metrics registry and span trees): keep them race-clean.
 race:
-	$(GO) test -race ./internal/plan/... ./internal/orchestrator/...
+	$(GO) test -race ./internal/plan/... ./internal/orchestrator/... ./internal/obs/...
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkPlannerScale -benchtime 1x .

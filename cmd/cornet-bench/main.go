@@ -15,12 +15,15 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
 	"time"
+
+	"cornet/internal/obs"
 )
 
 // experiment is one reproducible table or figure.
@@ -38,9 +41,10 @@ func register(id, about string, run func(quick bool) error) {
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id to run (or 'all')")
-		list  = flag.Bool("list", false, "list experiments")
-		quick = flag.Bool("quick", false, "reduced sweeps for fast runs")
+		exp     = flag.String("exp", "", "experiment id to run (or 'all')")
+		list    = flag.Bool("list", false, "list experiments")
+		quick   = flag.Bool("quick", false, "reduced sweeps for fast runs")
+		metrics = flag.String("metrics", "", "write the accumulated metrics (Prometheus text) to this file at exit")
 	)
 	flag.Parse()
 	sort.Slice(experiments, func(i, j int) bool { return experiments[i].id < experiments[j].id })
@@ -77,6 +81,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("---------------- %s done in %v ----------------\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if *metrics != "" {
+		var buf bytes.Buffer
+		err := obs.Default.WritePrometheus(&buf)
+		if err == nil {
+			err = os.WriteFile(*metrics, buf.Bytes(), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cornet-bench: write metrics: %v\n", err)
+		} else {
+			fmt.Printf("metrics written to %s\n", *metrics)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@
 //	cornet-plan -intent intent.json [-inventory ran|vpn|sdwan] [-size N]
 //	            [-render] [-backend auto|solver|heuristic|portfolio]
 //	            [-timeout D] [-stats] [-seed N] [-parallelism N]
+//	            [-trace trace.json]
 //
 // The inventory is generated synthetically (this repository's substitute
 // for the production inventory databases); -size controls the element
@@ -30,6 +31,7 @@ import (
 	"cornet/internal/core"
 	"cornet/internal/inventory"
 	"cornet/internal/netgen"
+	"cornet/internal/obs"
 	"cornet/internal/plan/engine"
 	"cornet/internal/plan/solver"
 )
@@ -47,6 +49,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "generator seed")
 		parallel   = flag.Int("parallelism", 0, "search workers per backend (0 = all CPUs, 1 = sequential)")
 		maxShow    = flag.Int("show", 8, "max elements to list per timeslot")
+		tracePath  = flag.String("trace", "", "write the discovery trace span tree (JSON) to this file")
 	)
 	flag.Parse()
 	if *intentPath == "" {
@@ -97,7 +100,23 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var root *obs.Span
+	if *tracePath != "" {
+		ctx, root = obs.StartTrace(ctx, "cornet-plan")
+	}
 	res, err := f.PlanScheduleContext(ctx, doc, sub, opt)
+	root.End()
+	if root != nil {
+		data, jerr := root.JSON()
+		if jerr == nil {
+			jerr = os.WriteFile(*tracePath, data, 0o644)
+		}
+		if jerr != nil {
+			fmt.Fprintln(os.Stderr, "cornet-plan: write trace:", jerr)
+		} else {
+			fmt.Printf("trace written to %s\n", *tracePath)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}

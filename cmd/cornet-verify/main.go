@@ -8,7 +8,7 @@
 //	cornet-verify [-nodes N] [-impact degradation|improvement|none]
 //	              [-kpis scorecard|level-1|level-2|level-3]
 //	              [-control 1st-tier|2nd-tier|2nd-minus-1st|same-attribute]
-//	              [-attrs market,hw_version] [-seed N]
+//	              [-attrs market,hw_version] [-seed N] [-trace trace.json]
 package main
 
 import (
@@ -23,6 +23,7 @@ import (
 	"cornet/internal/inventory"
 	"cornet/internal/kpigen"
 	"cornet/internal/netgen"
+	"cornet/internal/obs"
 	"cornet/internal/verify/groups"
 	"cornet/internal/verify/kpi"
 	"cornet/internal/verify/verifier"
@@ -38,6 +39,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generator seed")
 		studyN    = flag.Int("study", 30, "study group size")
 		timeout   = flag.Duration("timeout", 0, "verification deadline (0 = unbounded)")
+		tracePath = flag.String("trace", "", "write the verification trace span tree (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -127,7 +129,23 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var root *obs.Span
+	if *tracePath != "" {
+		ctx, root = obs.StartTrace(ctx, "cornet-verify")
+	}
 	rep, err := f.VerifyImpactContext(ctx, ds, net.Inv, rule, study, changeAt, control)
+	root.End()
+	if root != nil {
+		data, jerr := root.JSON()
+		if jerr == nil {
+			jerr = os.WriteFile(*tracePath, data, 0o644)
+		}
+		if jerr != nil {
+			fmt.Fprintln(os.Stderr, "cornet-verify: write trace:", jerr)
+		} else {
+			fmt.Printf("trace written to %s\n", *tracePath)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -13,8 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"cornet/internal/core"
 	"cornet/internal/inventory"
 	"cornet/internal/netgen"
+	"cornet/internal/obs"
 	"cornet/internal/plan/engine"
 	"cornet/internal/testbed"
 	"cornet/internal/workflow"
@@ -35,24 +37,52 @@ type server struct {
 	// planTimeout bounds each /api/plan request's schedule discovery.
 	planTimeout time.Duration
 
+	log     *slog.Logger
+	httpm   *obs.HTTPMetrics
+	started time.Time
+
 	mu          sync.RWMutex
 	deployments map[string]*workflow.Deployment
 }
 
+// newServer assembles a server around a framework; the orchestrator engine
+// inherits the server logger so workflow executions emit per-block records.
+func newServer(f *core.Framework, tb *testbed.Testbed, net *netgen.Network,
+	planTimeout time.Duration, log *slog.Logger) *server {
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	if f.Engine != nil {
+		f.Engine.Log = log
+	}
+	return &server{
+		f: f, tb: tb, net: net, planTimeout: planTimeout,
+		log:         log,
+		httpm:       obs.NewHTTPMetrics(obs.Default),
+		started:     time.Now(),
+		deployments: map[string]*workflow.Deployment{},
+	}
+}
+
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		vnfs        = flag.Int("vnfs", 4, "testbed instances per vNF type")
-		seed        = flag.Int64("seed", 1, "generator seed")
-		planTimeout = flag.Duration("plan-timeout", 30*time.Second, "per-request schedule discovery deadline (0 = unbounded)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		vnfs         = flag.Int("vnfs", 4, "testbed instances per vNF type")
+		seed         = flag.Int64("seed", 1, "generator seed")
+		planTimeout  = flag.Duration("plan-timeout", 30*time.Second, "per-request schedule discovery deadline (0 = unbounded)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
+		logLevel     = flag.String("log-level", "info", "log level (debug|info|warn|error)")
+		logFormat    = flag.String("log-format", "text", "log format (text|json)")
 	)
 	flag.Parse()
 
+	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel), *logFormat)
 	tb := testbed.New(*seed)
 	ids := testbed.PopulateVNFs(tb, *vnfs)
 	net, err := netgen.Cellular(netgen.DefaultCellular(200, *seed))
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("netgen failed", "err", err)
+		os.Exit(1)
 	}
 	f := core.New(map[string]catalog.ImplKind{
 		"vCE": catalog.ImplScript, "vGW": catalog.ImplAnsible, "portal": catalog.ImplAnsible,
@@ -60,20 +90,18 @@ func main() {
 		"eNodeB": catalog.ImplVendorCLI, "gNodeB": catalog.ImplVendorCLI,
 	}, core.WithInvoker(tb))
 
-	s := &server{f: f, tb: tb, net: net, planTimeout: *planTimeout, deployments: map[string]*workflow.Deployment{}}
-	mux := http.NewServeMux()
-	// Building blocks execute directly against the testbed.
-	mux.Handle("/api/bb/", tb.Handler())
-	mux.Handle("/healthz", tb.Handler())
-	mux.HandleFunc("/api/catalog", s.handleCatalog)
-	mux.HandleFunc("/api/wf/deploy", s.handleDeploy)
-	mux.HandleFunc("/api/wf/execute", s.handleExecute)
-	mux.HandleFunc("/api/plan", s.handlePlan)
+	s := newServer(f, tb, net, *planTimeout, logger)
+	obs.Default.GaugeFunc("cornet_uptime_seconds",
+		"Seconds since cornetd started.",
+		func() float64 { return time.Since(s.started).Seconds() })
 
-	log.Printf("cornetd: %d building blocks, %d testbed vNFs (%v...), %d inventory elements",
-		f.Catalog.Len(), tb.Len(), ids[:2], net.Inv.Len())
-	log.Printf("cornetd: listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	logger.Info("cornetd starting",
+		"blocks", f.Catalog.Len(), "testbed_vnfs", tb.Len(),
+		"sample_ids", fmt.Sprint(ids[:2]), "inventory", net.Inv.Len(), "addr", *addr)
+	if err := serve(s, *addr, *drainTimeout); err != nil && err != http.ErrServerClosed {
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
+	}
 }
 
 func (s *server) handleCatalog(w http.ResponseWriter, r *http.Request) {
@@ -155,16 +183,23 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown deployment API (deploy first)", http.StatusNotFound)
 		return
 	}
-	exec, err := s.f.Execute(r.Context(), dep, req.Inputs)
+	ctx := r.Context()
+	var root *obs.Span
+	if r.URL.Query().Get("trace") == "1" {
+		ctx, root = obs.StartTrace(ctx, "http.wf.execute")
+	}
+	exec, err := s.f.Execute(ctx, dep, req.Inputs)
+	root.End()
 	type blockLog struct {
 		Node, Block, Status, Err string
 		DurationNS               int64
 	}
 	resp := struct {
-		Status string     `json:"status"`
-		Error  string     `json:"error,omitempty"`
-		Logs   []blockLog `json:"logs"`
-	}{Status: string(exec.Status)}
+		Status string          `json:"status"`
+		Error  string          `json:"error,omitempty"`
+		Logs   []blockLog      `json:"logs"`
+		Trace  *obs.SpanExport `json:"trace,omitempty"`
+	}{Status: string(exec.Status), Trace: root.Export()}
 	if err != nil {
 		resp.Error = err.Error()
 	}
@@ -227,11 +262,16 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	var root *obs.Span
+	if r.URL.Query().Get("trace") == "1" {
+		ctx, root = obs.StartTrace(ctx, "http.plan")
+	}
 	res, err := s.f.PlanScheduleContext(ctx, doc, s.net.Inv.Subset(targets), core.PlanOptions{
 		Topology:    s.net.Topo,
 		Policy:      policy,
 		Parallelism: parallelism,
 	})
+	root.End()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
@@ -259,14 +299,15 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Method     string         `json:"method"`
-		Makespan   int            `json:"makespan"`
-		Conflicts  int            `json:"conflicts"`
-		TimedOut   bool           `json:"timed_out,omitempty"`
-		Stats      []backendStats `json:"stats"`
-		Assignment map[string]int `json:"assignment"`
-		Leftovers  []string       `json:"leftovers,omitempty"`
-	}{res.Method, res.Makespan, res.Conflicts, res.TimedOut, stats, res.Assignment, res.Leftovers})
+		Method     string          `json:"method"`
+		Makespan   int             `json:"makespan"`
+		Conflicts  int             `json:"conflicts"`
+		TimedOut   bool            `json:"timed_out,omitempty"`
+		Stats      []backendStats  `json:"stats"`
+		Assignment map[string]int  `json:"assignment"`
+		Leftovers  []string        `json:"leftovers,omitempty"`
+		Trace      *obs.SpanExport `json:"trace,omitempty"`
+	}{res.Method, res.Makespan, res.Conflicts, res.TimedOut, stats, res.Assignment, res.Leftovers, root.Export()})
 }
 
 func decode(r *http.Request, v any) error {

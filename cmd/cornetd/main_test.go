@@ -28,14 +28,8 @@ func testServer(t *testing.T) (*server, *httptest.Server) {
 		"vCE": catalog.ImplScript, "vGW": catalog.ImplAnsible, "portal": catalog.ImplAnsible,
 		"CPE": catalog.ImplAnsible, "vCOM": catalog.ImplAnsible, "vRAR": catalog.ImplAnsible,
 	}, core.WithInvoker(tb))
-	s := &server{f: f, tb: tb, net: net, deployments: map[string]*workflow.Deployment{}}
-	mux := http.NewServeMux()
-	mux.Handle("/api/bb/", tb.Handler())
-	mux.HandleFunc("/api/catalog", s.handleCatalog)
-	mux.HandleFunc("/api/wf/deploy", s.handleDeploy)
-	mux.HandleFunc("/api/wf/execute", s.handleExecute)
-	mux.HandleFunc("/api/plan", s.handlePlan)
-	srv := httptest.NewServer(mux)
+	s := newServer(f, tb, net, 0, nil)
+	srv := httptest.NewServer(newMux(s))
 	t.Cleanup(srv.Close)
 	return s, srv
 }

@@ -14,6 +14,7 @@ import (
 
 	"cornet/internal/catalog"
 	"cornet/internal/inventory"
+	"cornet/internal/obs"
 	"cornet/internal/orchestrator"
 	"cornet/internal/plan/engine"
 	"cornet/internal/plan/heuristic"
@@ -263,14 +264,20 @@ func (f *Framework) PlanScheduleRequestContext(ctx context.Context, req *intent.
 	var tr *translate.Result
 	var slots []intent.Timeslot
 	if policy == engine.ForceSolver || policy == engine.Portfolio {
+		_, tsp := obs.StartSpan(ctx, "plan.translate")
 		var err error
 		tr, err = translate.Translate(req, inv, translate.Options{
 			RequireAll: opt.RequireAll,
 			Topology:   opt.Topology,
 		})
 		if err != nil {
+			tsp.Fail(err)
+			tsp.End()
 			return nil, err
 		}
+		tsp.SetAttr("items", len(tr.Model.Items))
+		tsp.SetAttr("slots", tr.Model.NumSlots)
+		tsp.End()
 		ereq.Model = tr.Model
 		ereq.Expand = func(s model.Schedule) (map[string]int, []string) {
 			a := tr.Expand(s)

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPMetrics bundles the standard HTTP server instruments: requests by
+// route/method/code, an in-flight gauge, and per-route latency
+// histograms.
+type HTTPMetrics struct {
+	InFlight *Gauge
+	Requests *CounterVec   // route, method, code
+	Latency  *HistogramVec // route
+}
+
+// NewHTTPMetrics registers the HTTP instruments in r.
+func NewHTTPMetrics(r *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		InFlight: r.Gauge("cornet_http_in_flight_requests",
+			"HTTP requests currently being served."),
+		Requests: r.CounterVec("cornet_http_requests_total",
+			"HTTP requests served, by route, method, and status code.",
+			"route", "method", "code"),
+		Latency: r.HistogramVec("cornet_http_request_duration_seconds",
+			"HTTP request latency by route.", DefBuckets(), "route"),
+	}
+}
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Middleware wraps next with request-ID propagation, the in-flight gauge,
+// per-route request counting and latency observation, and an access log.
+// An incoming X-Request-ID is honoured (so callers can correlate across
+// systems); otherwise a fresh id is minted. The id is echoed in the
+// response header and placed in the request context, where StartTrace and
+// the logging handler pick it up. route is the static metric label — pass
+// the registered pattern, not the raw URL path, to bound cardinality.
+func (m *HTTPMetrics) Middleware(route string, log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = NewRequestID()
+		}
+		ctx := WithRequestID(r.Context(), id)
+		w.Header().Set("X-Request-ID", id)
+
+		m.InFlight.Inc()
+		defer m.InFlight.Dec()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		elapsed := time.Since(start)
+
+		m.Requests.With(route, r.Method, strconv.Itoa(rec.code)).Inc()
+		m.Latency.With(route).Observe(elapsed.Seconds())
+		if log != nil {
+			log.LogAttrs(ctx, slog.LevelInfo, "http request",
+				slog.String("route", route),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("code", rec.code),
+				slog.Duration("elapsed", elapsed),
+				slog.String("remote", r.RemoteAddr))
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_ops_total", "Operations.").Add(3)
+	v := r.CounterVec("test_runs_total", "Runs.", "backend", "outcome")
+	v.With("solver", "win").Inc()
+	v.With("heuristic", "lost").Add(2)
+	g := r.Gauge("test_in_flight", "In flight.")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	r.GaugeFunc("test_uptime_seconds", "Uptime.", func() float64 { return 1.5 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP test_ops_total Operations.\n# TYPE test_ops_total counter\ntest_ops_total 3\n",
+		`test_runs_total{backend="solver",outcome="win"} 1`,
+		`test_runs_total{backend="heuristic",outcome="lost"} 2`,
+		"# TYPE test_in_flight gauge\ntest_in_flight 1\n",
+		"test_uptime_seconds 1.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families must be sorted by name.
+	if strings.Index(out, "test_in_flight") > strings.Index(out, "test_ops_total") {
+		t.Error("families not sorted")
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`test_latency_seconds_bucket{le="0.1"} 1`,
+		`test_latency_seconds_bucket{le="1"} 2`,
+		`test_latency_seconds_bucket{le="+Inf"} 3`,
+		"test_latency_seconds_sum 5.55",
+		"test_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count() != 3 || h.Sum() != 5.55 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_idem_total", "x")
+	b := r.Counter("test_idem_total", "x")
+	if a != b {
+		t.Fatal("re-registering the same counter must return the same instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different schema should panic")
+		}
+	}()
+	r.Gauge("test_idem_total", "x")
+}
+
+func TestVecLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_arity_total", "x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity should panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_esc_total", "x", "v").With(`quo"te\n`).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `v="quo\"te\\n"`) {
+		t.Fatalf("label not escaped: %s", sb.String())
+	}
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestStartSpanOffTraceIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "orphan")
+	if sp != nil {
+		t.Fatalf("off-trace StartSpan returned a span: %+v", sp)
+	}
+	if ctx2 != ctx {
+		t.Fatal("off-trace StartSpan should return the context unchanged")
+	}
+	// Every method must be a safe no-op on the nil span.
+	sp.SetAttr("k", "v")
+	sp.Event("e", "k", 1)
+	sp.Fail(errors.New("boom"))
+	sp.End()
+	if sp.Export() != nil || sp.TraceID() != "" || sp.SpanID() != "" || sp.Name() != "" {
+		t.Fatal("nil span accessors should return zero values")
+	}
+}
+
+func TestSpanTreeExport(t *testing.T) {
+	ctx, root := StartTrace(context.Background(), "request")
+	root.SetAttr("size", 42)
+	cctx, child := StartSpan(ctx, "solve")
+	child.Event("incumbent-improved", "cost", int64(7))
+	_, grand := StartSpan(cctx, "worker")
+	grand.Fail(errors.New("cancelled"))
+	grand.End()
+	child.End()
+	root.End()
+
+	ex := root.Export()
+	if ex.TraceID == "" || len(ex.TraceID) != 16 {
+		t.Fatalf("root trace id = %q", ex.TraceID)
+	}
+	if ex.Name != "request" || ex.Attrs["size"] != 42 {
+		t.Fatalf("root export = %+v", ex)
+	}
+	solve := ex.Find("solve")
+	if solve == nil || len(solve.Events) != 1 || solve.Events[0].Msg != "incumbent-improved" {
+		t.Fatalf("solve span = %+v", solve)
+	}
+	if solve.Events[0].Attrs["cost"] != int64(7) {
+		t.Fatalf("event attrs = %+v", solve.Events[0].Attrs)
+	}
+	worker := ex.Find("worker")
+	if worker == nil || worker.Error != "cancelled" {
+		t.Fatalf("worker span = %+v", worker)
+	}
+	if worker.TraceID != "" {
+		t.Fatal("trace id should only appear on the root export")
+	}
+	if ex.DurationNS < 0 || solve.DurationNS < 0 {
+		t.Fatal("negative durations")
+	}
+	if got := len(ex.FindAll("solve")); got != 1 {
+		t.Fatalf("FindAll(solve) = %d", got)
+	}
+
+	// The export must be JSON-marshalable (the ?trace=1 path).
+	if _, err := json.Marshal(ex); err != nil {
+		t.Fatalf("marshal export: %v", err)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	_, root := StartTrace(context.Background(), "r")
+	root.End()
+	first := root.Export().DurationNS
+	time.Sleep(5 * time.Millisecond)
+	root.End()
+	if second := root.Export().DurationNS; second != first {
+		t.Fatalf("second End changed duration: %d -> %d", first, second)
+	}
+}
+
+func TestStartTraceCapturesRequestID(t *testing.T) {
+	ctx := WithRequestID(context.Background(), "req-123")
+	_, root := StartTrace(ctx, "r")
+	if got := root.Export().Attrs["request_id"]; got != "req-123" {
+		t.Fatalf("request_id attr = %v", got)
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context should carry no span")
+	}
+	ctx, root := StartTrace(context.Background(), "r")
+	if FromContext(ctx) != root {
+		t.Fatal("context should carry the root span")
+	}
+	cctx, child := StartSpan(ctx, "c")
+	if FromContext(cctx) != child || FromContext(ctx) != root {
+		t.Fatal("child context should carry the child, parent context the root")
+	}
+}

@@ -3,9 +3,11 @@ package orchestrator
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 
+	"cornet/internal/obs"
 	"cornet/internal/workflow"
 )
 
@@ -72,6 +74,11 @@ func (d *Dispatcher) Run(ctx context.Context, dep DeploymentResolver, changes []
 		if d.OnSlotStart != nil {
 			d.OnSlotStart(slot, len(batch))
 		}
+		slotCtx, ssp := obs.StartSpan(ctx, "dispatch.slot")
+		ssp.SetAttr("slot", slot)
+		ssp.SetAttr("changes", len(batch))
+		d.Engine.logger().LogAttrs(ctx, slog.LevelInfo, "dispatching timeslot",
+			slog.Int("slot", slot), slog.Int("changes", len(batch)))
 		sem := make(chan struct{}, d.Concurrency)
 		var wg sync.WaitGroup
 		for _, c := range batch {
@@ -86,12 +93,18 @@ func (d *Dispatcher) Run(ctx context.Context, dep DeploymentResolver, changes []
 				res.Instance, res.Timeslot = c.Instance, c.Timeslot
 				if err != nil {
 					res.Err = fmt.Errorf("dispatcher: resolve deployment for %s: %w", c.Instance, err)
+					metricDispatched.With("resolve-error").Inc()
 				} else {
 					inputs := map[string]string{"instance": c.Instance}
 					for k, v := range c.Inputs {
 						inputs[k] = v
 					}
-					res.Exec, res.Err = d.Engine.Execute(ctx, deployment, inputs)
+					res.Exec, res.Err = d.Engine.Execute(slotCtx, deployment, inputs)
+					if res.Err != nil {
+						metricDispatched.With("failure").Inc()
+					} else {
+						metricDispatched.With("success").Inc()
+					}
 				}
 				mu.Lock()
 				results = append(results, res)
@@ -99,6 +112,7 @@ func (d *Dispatcher) Run(ctx context.Context, dep DeploymentResolver, changes []
 			}()
 		}
 		wg.Wait()
+		ssp.End()
 	}
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Timeslot != results[j].Timeslot {

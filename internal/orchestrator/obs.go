@@ -1,0 +1,36 @@
+package orchestrator
+
+import (
+	"log/slog"
+
+	"cornet/internal/obs"
+)
+
+// Execution metrics, recorded in the process-wide registry for every
+// workflow run — the aggregate counterpart of the paper's per-building-
+// block logs (cmd/cornetd exposes them at GET /metrics).
+var (
+	metricBBInvocations = obs.Default.CounterVec("cornet_bb_invocations_total",
+		"Building-block invocations by block and status.", "block", "status")
+	metricBBDuration = obs.Default.HistogramVec("cornet_bb_duration_seconds",
+		"Building-block invocation latency by block.", obs.DefBuckets(), "block")
+	metricWfExecutions = obs.Default.CounterVec("cornet_wf_executions_total",
+		"Workflow executions by workflow and final status.", "workflow", "status")
+	metricWfPauses = obs.Default.Counter("cornet_wf_pauses_total",
+		"Workflow executions paused by an operator.")
+	metricWfResumes = obs.Default.Counter("cornet_wf_resumes_total",
+		"Paused workflow executions resumed.")
+	metricWfRollbacks = obs.Default.Counter("cornet_wf_rollbacks_total",
+		"Roll-back building blocks executed (the paper's rollback decisions).")
+	metricDispatched = obs.Default.CounterVec("cornet_dispatch_changes_total",
+		"Scheduled changes dispatched, by result.", "result")
+)
+
+// logger returns the engine's structured logger, defaulting to a silent
+// one so library users stay quiet unless they inject a real logger.
+func (eng *Engine) logger() *slog.Logger {
+	if eng.Log != nil {
+		return eng.Log
+	}
+	return obs.NopLogger()
+}

@@ -1,0 +1,165 @@
+package orchestrator
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"cornet/internal/obs"
+	"cornet/internal/workflow"
+)
+
+// TestExecuteEmitsPerBlockSpans runs a traced software upgrade that takes
+// the rollback branch and checks the span tree mirrors the per-BB logs.
+func TestExecuteEmitsPerBlockSpans(t *testing.T) {
+	inv := &fakeInvoker{outputs: map[string]map[string]string{
+		"/bb/pre-post-comparison": {"verdict": "degradation"},
+	}}
+	eng := NewEngine(inv)
+	dep := deploy(t, workflow.SoftwareUpgrade())
+
+	ctx, root := obs.StartTrace(context.Background(), "test")
+	exec, err := eng.Execute(ctx, dep,
+		map[string]string{"instance": "enb1", "sw_version": "v2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	tree := root.Export()
+	wf := tree.Find("wf.execute")
+	if wf == nil {
+		t.Fatalf("no wf.execute span in %s", mustJSON(t, root))
+	}
+	if wf.Attrs["workflow"] != exec.Workflow {
+		t.Fatalf("wf span workflow attr = %v, want %s", wf.Attrs["workflow"], exec.Workflow)
+	}
+	if wf.Attrs["status"] != string(StatusSuccess) {
+		t.Fatalf("wf span status = %v", wf.Attrs["status"])
+	}
+	if wf.Attrs["rollback"] != true {
+		t.Fatalf("wf span rollback attr = %v, want true", wf.Attrs["rollback"])
+	}
+
+	// One bb.* span per block log, same order, matching statuses.
+	var bbSpans []*obs.SpanExport
+	for _, c := range wf.Children {
+		if strings.HasPrefix(c.Name, "bb.") {
+			bbSpans = append(bbSpans, c)
+		}
+	}
+	logs := exec.snapshotLogs()
+	if len(bbSpans) != len(logs) {
+		t.Fatalf("bb spans = %d, block logs = %d", len(bbSpans), len(logs))
+	}
+	sawRollback := false
+	for i, l := range logs {
+		sp := bbSpans[i]
+		if sp.Name != "bb."+l.Block {
+			t.Fatalf("span %d = %s, want bb.%s", i, sp.Name, l.Block)
+		}
+		if sp.Attrs["status"] != string(l.Status) {
+			t.Fatalf("span %s status = %v, log status = %s", sp.Name, sp.Attrs["status"], l.Status)
+		}
+		if l.Block == "roll-back" {
+			sawRollback = true
+		}
+	}
+	if !sawRollback {
+		t.Fatal("degradation verdict did not execute the roll-back block")
+	}
+}
+
+// TestExecuteUntracedSpansFree checks the untraced path produces no spans.
+func TestExecuteUntracedSpansFree(t *testing.T) {
+	inv := &fakeInvoker{}
+	eng := NewEngine(inv)
+	dep := deploy(t, workflow.SoftwareUpgrade())
+	if _, err := eng.Execute(context.Background(), dep,
+		map[string]string{"instance": "enb1", "sw_version": "v2"}); err != nil {
+		t.Fatal(err)
+	}
+	if sp := obs.FromContext(context.Background()); sp != nil {
+		t.Fatal("background context unexpectedly carries a span")
+	}
+}
+
+// TestExecuteStructuredLogs checks the engine logs per-block records with
+// workflow, block, and status fields through the injected slog handler.
+func TestExecuteStructuredLogs(t *testing.T) {
+	var buf bytes.Buffer
+	inv := &fakeInvoker{}
+	eng := NewEngine(inv)
+	eng.Log = slog.New(slog.NewJSONHandler(&buf, nil))
+	dep := deploy(t, workflow.SoftwareUpgrade())
+	if _, err := eng.Execute(context.Background(), dep,
+		map[string]string{"instance": "enb1", "sw_version": "v2"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"msg":"workflow started"`,
+		`"block":"health-check"`,
+		`"block":"software-upgrade"`,
+		`"msg":"workflow finished"`,
+		`"status":"success"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// TestPauseResumeSpanEvents checks pause/resume surface as span events.
+func TestPauseResumeSpanEvents(t *testing.T) {
+	inv := &fakeInvoker{block: make(chan struct{})}
+	eng := NewEngine(inv)
+	dep := deploy(t, workflow.SoftwareUpgrade())
+
+	ctx, root := obs.StartTrace(context.Background(), "test")
+	exec, done := eng.Start(ctx, dep,
+		map[string]string{"instance": "enb1", "sw_version": "v2"})
+	for len(inv.calledAPIs()) == 0 {
+		time.Sleep(time.Millisecond) // wait until the first block is in flight
+	}
+	exec.Pause()
+	inv.block <- struct{}{} // release the first block; engine sees the pause
+	for st, _ := exec.snapshotStatus(); st != StatusPaused; st, _ = exec.snapshotStatus() {
+		time.Sleep(time.Millisecond)
+	}
+	exec.Resume()
+	for i := 0; i < 8; i++ { // drain remaining block invocations
+		select {
+		case inv.block <- struct{}{}:
+		case <-done:
+			i = 8
+		}
+	}
+	<-done
+	root.End()
+
+	wf := root.Export().Find("wf.execute")
+	if wf == nil {
+		t.Fatal("no wf.execute span")
+	}
+	var names []string
+	for _, e := range wf.Events {
+		names = append(names, e.Msg)
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "paused") || !strings.Contains(joined, "resumed") {
+		t.Fatalf("wf span events = %v, want paused and resumed", names)
+	}
+}
+
+func mustJSON(t *testing.T, sp *obs.Span) string {
+	t.Helper()
+	b, err := sp.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

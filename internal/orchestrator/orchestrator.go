@@ -12,10 +12,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"time"
 
+	"cornet/internal/catalog"
+	"cornet/internal/obs"
 	"cornet/internal/workflow"
 )
 
@@ -109,6 +112,13 @@ func (e *Execution) Paused() bool {
 	return e.paused
 }
 
+// snapshotStatus returns the current status and error under the lock.
+func (e *Execution) snapshotStatus() (Status, string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Status, e.Err
+}
+
 // snapshotLogs returns a copy of the block logs.
 func (e *Execution) snapshotLogs() []BlockLog {
 	e.mu.Lock()
@@ -136,6 +146,10 @@ type Engine struct {
 	// MaxSteps bounds graph traversal to catch accidental cycles at run
 	// time (verification should prevent them, but defense in depth).
 	MaxSteps int
+	// Log receives structured per-block and per-workflow execution records
+	// (the paper's fine-grained execution logging). nil stays silent;
+	// cmd/cornetd injects its server logger here.
+	Log *slog.Logger
 }
 
 // NewEngine returns an engine dispatching through the given invoker.
@@ -206,6 +220,28 @@ func (eng *Engine) prepare(dep *workflow.Deployment, inputs map[string]string) (
 }
 
 func (eng *Engine) run(ctx context.Context, dep *workflow.Deployment, exec *Execution) {
+	ctx, wsp := obs.StartSpan(ctx, "wf.execute")
+	wsp.SetAttr("workflow", exec.Workflow)
+	wsp.SetAttr("instance", exec.Instance)
+	log := eng.logger()
+	log.LogAttrs(ctx, slog.LevelInfo, "workflow started",
+		slog.String("workflow", exec.Workflow), slog.String("instance", exec.Instance))
+	defer func() {
+		st, errMsg := exec.snapshotStatus()
+		wsp.SetAttr("status", string(st))
+		if st == StatusFailure {
+			wsp.Fail(errors.New(errMsg))
+		}
+		wsp.End()
+		metricWfExecutions.With(exec.Workflow, string(st)).Inc()
+		lvl := slog.LevelInfo
+		if st == StatusFailure {
+			lvl = slog.LevelWarn
+		}
+		log.LogAttrs(ctx, lvl, "workflow finished",
+			slog.String("workflow", exec.Workflow), slog.String("instance", exec.Instance),
+			slog.String("status", string(st)), slog.String("err", errMsg))
+	}()
 	w := dep.Workflow
 	cur := w.StartNode()
 	steps := 0
@@ -230,11 +266,19 @@ func (eng *Engine) run(ctx context.Context, dep *workflow.Deployment, exec *Exec
 			exec.mu.Lock()
 			exec.Status = StatusPaused
 			exec.mu.Unlock()
+			wsp.Event("paused", "at", cur)
+			metricWfPauses.Inc()
+			log.LogAttrs(ctx, slog.LevelInfo, "workflow paused",
+				slog.String("workflow", exec.Workflow), slog.String("at", cur))
 			select {
 			case <-exec.resumeReq:
 				exec.mu.Lock()
 				exec.Status = StatusRunning
 				exec.mu.Unlock()
+				wsp.Event("resumed", "at", cur)
+				metricWfResumes.Inc()
+				log.LogAttrs(ctx, slog.LevelInfo, "workflow resumed",
+					slog.String("workflow", exec.Workflow), slog.String("at", cur))
 			case <-ctx.Done():
 				fail("%v while paused", ErrHalted)
 				return
@@ -307,8 +351,12 @@ func (eng *Engine) runTask(ctx context.Context, dep *workflow.Deployment, exec *
 		}
 	}
 
+	bctx, bsp := obs.StartSpan(ctx, "bb."+node.Block)
+	bsp.SetAttr("node", node.ID)
+	bsp.SetAttr("block", node.Block)
+	bsp.SetAttr("api", api)
 	start := eng.Clock()
-	outputs, err := eng.invoker.Invoke(ctx, api, args)
+	outputs, err := eng.invoker.Invoke(bctx, api, args)
 	entry := BlockLog{
 		NodeID:   node.ID,
 		Block:    node.Block,
@@ -321,6 +369,23 @@ func (eng *Engine) runTask(ctx context.Context, dep *workflow.Deployment, exec *
 		entry.Status = StatusFailure
 		entry.Err = err.Error()
 	}
+	bsp.SetAttr("status", string(entry.Status))
+	bsp.Fail(err)
+	bsp.End()
+	metricBBInvocations.With(node.Block, string(entry.Status)).Inc()
+	metricBBDuration.With(node.Block).Observe(entry.Duration.Seconds())
+	if node.Block == catalog.BBRollback {
+		obs.FromContext(ctx).SetAttr("rollback", true)
+		metricWfRollbacks.Inc()
+	}
+	lvl := slog.LevelInfo
+	if err != nil {
+		lvl = slog.LevelWarn
+	}
+	eng.logger().LogAttrs(ctx, lvl, "block executed",
+		slog.String("workflow", exec.Workflow), slog.String("node", node.ID),
+		slog.String("block", node.Block), slog.String("status", string(entry.Status)),
+		slog.Duration("duration", entry.Duration), slog.String("err", entry.Err))
 	exec.mu.Lock()
 	exec.Logs = append(exec.Logs, entry)
 	if err != nil {

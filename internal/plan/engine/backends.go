@@ -15,6 +15,20 @@ import (
 // limits without importing the solver directly.
 type SolverLimits = solver.Options
 
+// chainIncumbent composes a caller-supplied solver incumbent callback
+// with the engine's instrumentation notifier.
+func chainIncumbent(prev func(cost, nodes int64), notify func(kv ...any)) func(cost, nodes int64) {
+	if notify == nil {
+		return prev
+	}
+	return func(cost, nodes int64) {
+		if prev != nil {
+			prev(cost, nodes)
+		}
+		notify("cost", cost, "nodes", nodes)
+	}
+}
+
 // softBudget caps a backend's soft time budget at ~90% of the context
 // deadline, leaving headroom to assemble and return the best incumbent
 // before the hard deadline cancels the search outright.
@@ -80,6 +94,7 @@ func (CPBackend) Solve(ctx context.Context, req *Request, opt Options) (Result, 
 	if sopt.Parallelism == 0 {
 		sopt.Parallelism = opt.Parallelism
 	}
+	sopt.OnIncumbent = chainIncumbent(sopt.OnIncumbent, opt.incumbent)
 	start := time.Now()
 	sched, err := solver.SolveContext(ctx, req.Model, sopt)
 	st.Wall = time.Since(start)
@@ -113,6 +128,7 @@ func (b DecomposedBackend) Solve(ctx context.Context, req *Request, opt Options)
 	if sopt.Parallelism == 0 {
 		sopt.Parallelism = opt.Parallelism
 	}
+	sopt.OnIncumbent = chainIncumbent(sopt.OnIncumbent, opt.incumbent)
 	start := time.Now()
 	sched, err := decompose.SolveContext(ctx, req.Model, decompose.SolveOptions{
 		Solver:      sopt,
@@ -140,6 +156,15 @@ func (HeuristicBackend) Solve(ctx context.Context, req *Request, opt Options) (R
 	inst.TimeLimit = softBudget(ctx, inst.TimeLimit)
 	if inst.Parallelism == 0 {
 		inst.Parallelism = opt.Parallelism
+	}
+	if notify := opt.incumbent; notify != nil {
+		prev := inst.OnImprovement
+		inst.OnImprovement = func(tz string, restart int) {
+			if prev != nil {
+				prev(tz, restart)
+			}
+			notify("timezone", tz, "restart", restart)
+		}
 	}
 	st := Stats{Backend: "heuristic", Restarts: inst.Restarts}
 	if st.Restarts == 0 {

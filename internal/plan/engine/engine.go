@@ -27,6 +27,7 @@ import (
 	"sort"
 	"time"
 
+	"cornet/internal/obs"
 	"cornet/internal/plan/heuristic"
 	"cornet/internal/plan/model"
 )
@@ -139,6 +140,11 @@ type Options struct {
 	// search. A non-zero Solver.Parallelism takes precedence for the
 	// model-driven backends.
 	Parallelism int
+
+	// incumbent receives incumbent-improvement notifications from the
+	// backends as alternating key/value pairs. Unexported: the engine sets
+	// it per backend run to emit trace events and metrics.
+	incumbent func(kv ...any)
 }
 
 // Backend is one interchangeable planning implementation. Implementations
@@ -184,6 +190,12 @@ func (e *Engine) backends() (solverB, heurB Backend) {
 // (the winner flagged); the portfolio path waits for cancelled losers to
 // exit so their stats — including the observed context error — are
 // complete when Plan returns.
+//
+// When the context carries a trace (obs.StartTrace), Plan records a
+// "plan.engine" span with one "plan.backend.<name>" child per backend
+// consulted, including incumbent-improvement events and portfolio
+// winner/loser-cancellation outcomes. Request and per-backend metrics are
+// always recorded in obs.Default.
 func (e *Engine) Plan(ctx context.Context, req *Request, opt Options) (Result, []Stats, error) {
 	if opt.ScaleThreshold <= 0 {
 		opt.ScaleThreshold = 1000
@@ -192,6 +204,15 @@ func (e *Engine) Plan(ctx context.Context, req *Request, opt Options) (Result, [
 	if policy == "" {
 		policy = Threshold
 	}
+	ctx, sp := obs.StartSpan(ctx, "plan.engine")
+	sp.SetAttr("policy", string(policy))
+	sp.SetAttr("size", req.Size)
+	res, stats, err := e.dispatch(ctx, req, opt, policy)
+	observePlan(sp, policy, stats, err)
+	return res, stats, err
+}
+
+func (e *Engine) dispatch(ctx context.Context, req *Request, opt Options, policy Policy) (Result, []Stats, error) {
 	solverB, heurB := e.backends()
 	switch policy {
 	case ForceSolver:
@@ -218,12 +239,13 @@ func runOne(ctx context.Context, b Backend, req *Request, opt Options) (Result, 
 	if !b.Supports(req) {
 		return Result{}, nil, fmt.Errorf("engine: backend %s: %w", b.Name(), ErrUnsupported)
 	}
-	res, st, err := b.Solve(ctx, req, opt)
+	res, st, err := runBackend(ctx, b, req, opt)
 	if err != nil {
-		st.Err = err.Error()
+		metricBackendRuns.With(b.Name(), "error").Inc()
 		return Result{}, []Stats{st}, err
 	}
 	st.Winner = true
+	metricBackendRuns.With(b.Name(), "win").Inc()
 	return res, []Stats{st}, nil
 }
 
@@ -246,6 +268,7 @@ func (e *Engine) race(ctx context.Context, backends []Backend, req *Request, opt
 	}
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	esp := obs.FromContext(ctx) // the "plan.engine" span (nil off-trace)
 	type outcome struct {
 		i   int
 		res Result
@@ -253,12 +276,10 @@ func (e *Engine) race(ctx context.Context, backends []Backend, req *Request, opt
 	}
 	ch := make(chan outcome, len(avail))
 	stats := make([]Stats, len(avail))
+	errs := make([]error, len(avail))
 	for i, b := range avail {
 		go func(i int, b Backend) {
-			res, st, err := b.Solve(rctx, req, opt)
-			if err != nil && st.Err == "" {
-				st.Err = err.Error()
-			}
+			res, st, err := runBackend(rctx, b, req, opt)
 			stats[i] = st // each goroutine owns its slot; read after the join below
 			ch <- outcome{i: i, res: res, err: err}
 		}(i, b)
@@ -271,14 +292,24 @@ func (e *Engine) race(ctx context.Context, backends []Backend, req *Request, opt
 	// makes their observed ctx error visible in the returned stats.
 	for n := 0; n < len(avail); n++ {
 		o := <-ch
+		errs[o.i] = o.err
 		switch {
 		case o.err == nil && winner < 0:
 			winner, winRes = o.i, o.res
+			esp.Event("portfolio-first-result", "backend", avail[o.i].Name())
 			cancel()
 		case o.err == nil && betterResult(o.res, winRes):
 			winner, winRes = o.i, o.res
+			esp.Event("portfolio-late-upgrade", "backend", avail[o.i].Name())
 		case o.err != nil && firstErr == nil && !errors.Is(o.err, context.Canceled):
 			firstErr = o.err
+		}
+	}
+	for i := range stats {
+		out := raceOutcome(i, winner, errs[i])
+		metricBackendRuns.With(avail[i].Name(), out).Inc()
+		if out == "cancelled" {
+			esp.Event("portfolio-loser-cancelled", "backend", avail[i].Name())
 		}
 	}
 	if winner < 0 {

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"context"
+	"errors"
+
+	"cornet/internal/obs"
+)
+
+// Planning metrics, recorded on every request in the process-wide
+// registry (cmd/cornetd exposes them at GET /metrics).
+var (
+	metricPlanRequests = obs.Default.CounterVec("cornet_plan_requests_total",
+		"Planning engine requests by policy and outcome.", "policy", "outcome")
+	metricBackendRuns = obs.Default.CounterVec("cornet_plan_backend_total",
+		"Backend solve attempts by backend and outcome (win, lost, cancelled, error).",
+		"backend", "outcome")
+	metricBackendWall = obs.Default.HistogramVec("cornet_plan_backend_duration_seconds",
+		"Backend wall-clock solve time.", obs.DefBuckets(), "backend")
+	metricBackendNodes = obs.Default.CounterVec("cornet_plan_backend_nodes_total",
+		"Branch-and-bound nodes explored by the model-driven backends.", "backend")
+	metricIncumbents = obs.Default.CounterVec("cornet_plan_incumbent_improvements_total",
+		"Strictly better incumbents published during search, by backend.", "backend")
+)
+
+// runBackend solves one backend under its own trace span, wiring the
+// incumbent-improvement hook and recording the per-backend metrics. The
+// span captures the uniform Stats as attributes, including the derived
+// nodes/sec exploration rate.
+func runBackend(ctx context.Context, b Backend, req *Request, opt Options) (Result, Stats, error) {
+	name := b.Name()
+	bctx, sp := obs.StartSpan(ctx, "plan.backend."+name)
+	opt.incumbent = func(kv ...any) {
+		metricIncumbents.With(name).Inc()
+		sp.Event("incumbent-improved", kv...)
+	}
+	res, st, err := b.Solve(bctx, req, opt)
+	if err != nil && st.Err == "" {
+		st.Err = err.Error()
+	}
+	sp.SetAttr("backend", name)
+	if st.Nodes > 0 {
+		sp.SetAttr("nodes", st.Nodes)
+		if secs := st.Wall.Seconds(); secs > 0 {
+			sp.SetAttr("nodes_per_sec", float64(st.Nodes)/secs)
+		}
+	}
+	if st.Restarts > 0 {
+		sp.SetAttr("restarts", st.Restarts)
+	}
+	if st.Workers > 0 {
+		sp.SetAttr("workers", st.Workers)
+	}
+	if err == nil {
+		sp.SetAttr("objective", st.Objective)
+		sp.SetAttr("conflicts", st.Conflicts)
+	}
+	if st.TimedOut {
+		sp.SetAttr("timed_out", true)
+	}
+	sp.Fail(err)
+	sp.End()
+	metricBackendWall.With(name).Observe(st.Wall.Seconds())
+	if st.Nodes > 0 {
+		metricBackendNodes.With(name).Add(float64(st.Nodes))
+	}
+	return res, st, err
+}
+
+// raceOutcome maps a joined portfolio backend's error onto its outcome
+// metric label.
+func raceOutcome(i, winner int, err error) string {
+	switch {
+	case i == winner:
+		return "win"
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	case err != nil:
+		return "error"
+	default:
+		return "lost"
+	}
+}
+
+// observePlan finalizes the engine-level span and request counter.
+func observePlan(sp *obs.Span, policy Policy, stats []Stats, err error) {
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+		sp.Fail(err)
+	}
+	metricPlanRequests.With(string(policy), outcome).Inc()
+	for i := range stats {
+		if stats[i].Winner {
+			sp.SetAttr("winner", stats[i].Backend)
+		}
+	}
+	sp.SetAttr("backends", len(stats))
+	sp.End()
+}

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"cornet/internal/obs"
+)
+
+// TestPlanEmitsBackendSpans checks a traced Plan call yields the engine
+// span with a per-backend child carrying the uniform stats attributes.
+func TestPlanEmitsBackendSpans(t *testing.T) {
+	e := New()
+	req := &Request{Model: testModel(6, 3), Size: 6}
+
+	ctx, root := obs.StartTrace(context.Background(), "test")
+	_, _, err := e.Plan(ctx, req, Options{Policy: ForceSolver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	tree := root.Export()
+	eng := tree.Find("plan.engine")
+	if eng == nil {
+		t.Fatal("no plan.engine span")
+	}
+	if eng.Attrs["policy"] != string(ForceSolver) {
+		t.Fatalf("policy attr = %v", eng.Attrs["policy"])
+	}
+	if eng.Attrs["winner"] != "solver" {
+		t.Fatalf("winner attr = %v", eng.Attrs["winner"])
+	}
+	b := tree.Find("plan.backend.solver")
+	if b == nil {
+		t.Fatal("no plan.backend.solver span")
+	}
+	if b.Attrs["backend"] != "solver" {
+		t.Fatalf("backend attr = %v", b.Attrs["backend"])
+	}
+	if _, ok := b.Attrs["objective"]; !ok {
+		t.Fatalf("backend span missing objective attr: %v", b.Attrs)
+	}
+}
+
+// TestPortfolioSpanEvents checks the race emits win/cancel events and one
+// span per competing backend.
+func TestPortfolioSpanEvents(t *testing.T) {
+	winner := &fakeBackend{name: "fast", res: Result{Makespan: 1}}
+	loser := &fakeBackend{name: "slow", block: true}
+	e := &Engine{Solver: winner, Heuristic: loser}
+
+	ctx, root := obs.StartTrace(context.Background(), "test")
+	_, stats, err := e.Plan(ctx, &Request{}, Options{Policy: Portfolio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %v", stats)
+	}
+
+	tree := root.Export()
+	if tree.Find("plan.backend.fast") == nil || tree.Find("plan.backend.slow") == nil {
+		t.Fatalf("missing per-backend spans in tree")
+	}
+	eng := tree.Find("plan.engine")
+	if eng == nil {
+		t.Fatal("no plan.engine span")
+	}
+	var msgs []string
+	for _, ev := range eng.Events {
+		msgs = append(msgs, ev.Msg)
+	}
+	joined := strings.Join(msgs, ",")
+	if !strings.Contains(joined, "portfolio-first-result") {
+		t.Fatalf("events = %v, want portfolio-first-result", msgs)
+	}
+	if !strings.Contains(joined, "portfolio-loser-cancelled") {
+		t.Fatalf("events = %v, want portfolio-loser-cancelled", msgs)
+	}
+}
+
+// TestIncumbentEventsOnBackendSpan checks the solver's incumbent
+// improvements surface as events on its backend span.
+func TestIncumbentEventsOnBackendSpan(t *testing.T) {
+	e := New()
+	req := &Request{Model: testModel(8, 4), Size: 8}
+
+	ctx, root := obs.StartTrace(context.Background(), "test")
+	if _, _, err := e.Plan(ctx, req, Options{Policy: ForceSolver}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	b := root.Export().Find("plan.backend.solver")
+	if b == nil {
+		t.Fatal("no solver span")
+	}
+	found := false
+	for _, ev := range b.Events {
+		if ev.Msg == "incumbent-improved" {
+			found = true
+			if _, ok := ev.Attrs["cost"]; !ok {
+				t.Fatalf("incumbent event missing cost attr: %v", ev.Attrs)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no incumbent-improved event on solver span: %+v", b.Events)
+	}
+}
+
+// TestUntracedPlanNoSpans checks plans stay span-free off-trace.
+func TestUntracedPlanNoSpans(t *testing.T) {
+	e := New()
+	req := &Request{Model: testModel(4, 2), Size: 4}
+	if _, _, err := e.Plan(context.Background(), req, Options{Policy: ForceSolver}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -61,6 +61,13 @@ type Instance struct {
 	// is abandoned and the best schedule found so far is returned with
 	// Result.TimedOut set, so a 100K-node instance can never run unbounded.
 	TimeLimit time.Duration
+	// OnImprovement, when set, is called whenever a timezone's restart pool
+	// adopts a strictly better candidate schedule (the Algorithm 1
+	// local-search incumbent). It runs under the reducer lock, possibly
+	// from concurrent restart workers, and must be fast and non-blocking;
+	// the planning engine uses it to emit incumbent-improvement trace
+	// events.
+	OnImprovement func(timezone string, restart int)
 }
 
 // Result is the discovered schedule.
@@ -198,7 +205,7 @@ func SolveContext(ctx context.Context, inst Instance) (Result, error) {
 			continue
 		}
 		sub := inst.subInstance(tzGroups[tz])
-		best := solveTimezone(inst, sub, cap, startSlot, tzIdx, bud)
+		best := solveTimezone(inst, sub, cap, startSlot, tz, tzIdx, bud)
 		for id, s := range best.Slots {
 			total.Slots[id] = s
 			cap.commit(id, s, inst)
@@ -390,7 +397,7 @@ func restartSeed(seed int64, tz, restart int) int64 {
 // lexicographic order, ties broken by lowest restart index — making the
 // outcome a pure function of the candidate set, independent of worker
 // count and goroutine scheduling.
-func solveTimezone(inst Instance, sp subProblem, committed *capTracker, startSlot, tzIndex int, bud *budget) Result {
+func solveTimezone(inst Instance, sp subProblem, committed *capTracker, startSlot int, tz string, tzIndex int, bud *budget) Result {
 	workers := inst.workerCount()
 	if workers > inst.Restarts {
 		workers = inst.Restarts
@@ -408,21 +415,24 @@ func solveTimezone(inst Instance, sp subProblem, committed *capTracker, startSlo
 	reduce := func(cand Result, restart int, aborted bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		take := false
+		take, improved := false, false
 		switch {
 		case !bestSet:
-			take = true
+			take, improved = true, true
 		case bestAborted && !aborted:
-			take = true // a completed pass beats any truncated one
+			take, improved = true, true // a completed pass beats any truncated one
 		case !bestAborted && aborted:
 			// keep the completed best
 		case better(cand, best):
-			take = true
+			take, improved = true, true
 		case !better(best, cand) && restart < bestRestart:
 			take = true // equal rank: canonical lowest-restart tie-break
 		}
 		if take {
 			best, bestRestart, bestSet, bestAborted = cand, restart, true, aborted
+			if improved && inst.OnImprovement != nil {
+				inst.OnImprovement(tz, restart)
+			}
 		}
 	}
 	var next atomic.Int64

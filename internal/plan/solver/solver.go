@@ -46,6 +46,12 @@ type Options struct {
 	// workers that share the incumbent bound. 0 means GOMAXPROCS; 1 runs
 	// the classic sequential search.
 	Parallelism int
+	// OnIncumbent, when set, is called each time the search publishes a
+	// strictly better incumbent, with its cost and the observed global node
+	// count at publication. It may run concurrently from parallel workers
+	// (under the incumbent lock) and must be fast and non-blocking; the
+	// planning engine uses it to emit incumbent-improvement trace events.
+	OnIncumbent func(cost, nodes int64)
 }
 
 func (o Options) withDefaults() Options {
@@ -137,6 +143,8 @@ type sharedBound struct {
 
 	mu        sync.Mutex
 	bestSlots []int
+	// onIncumbent mirrors Options.OnIncumbent for the parallel search.
+	onIncumbent func(cost, nodes int64)
 }
 
 // record publishes an incumbent. Ties on cost keep the lexicographically
@@ -154,6 +162,9 @@ func (sh *sharedBound) record(cost int64, slots []int) {
 	}
 	sh.bestCost.Store(cost)
 	sh.bestSlots = slots
+	if cost < cur && sh.onIncumbent != nil {
+		sh.onIncumbent(cost, sh.nodes.Load())
+	}
 }
 
 func lexLess(a, b []int) bool {
@@ -184,7 +195,7 @@ func solveParallel(ctx context.Context, m *model.Model, opt Options, base *state
 	if workers > len(decisions) {
 		workers = len(decisions)
 	}
-	sh := &sharedBound{}
+	sh := &sharedBound{onIncumbent: opt.OnIncumbent}
 	sh.bestCost.Store(math.MaxInt64)
 	states := make([]*state, workers)
 	var wg sync.WaitGroup
@@ -921,6 +932,9 @@ func (s *state) search(pos int) {
 			} else {
 				s.bestCost = s.cost
 				s.bestSlots = s.extractSlots()
+				if s.opt.OnIncumbent != nil {
+					s.opt.OnIncumbent(s.cost, s.nodes)
+				}
 			}
 			if s.opt.FirstSolutionOnly {
 				s.stopped = true

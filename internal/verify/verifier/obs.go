@@ -1,0 +1,14 @@
+package verifier
+
+import "cornet/internal/obs"
+
+// Verification metrics, recorded in the process-wide registry for every
+// rule evaluation (cmd/cornetd exposes them at GET /metrics).
+var (
+	metricVerifyRuns = obs.Default.CounterVec("cornet_verify_runs_total",
+		"Verification rule evaluations by go/no-go decision.", "decision")
+	metricVerifyKPIs = obs.Default.CounterVec("cornet_verify_kpi_total",
+		"Per-KPI verification outcomes by verdict.", "verdict")
+	metricVerifyWall = obs.Default.HistogramVec("cornet_verify_duration_seconds",
+		"Wall-clock time of one verification rule evaluation.", obs.DefBuckets(), "rule")
+)

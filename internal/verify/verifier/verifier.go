@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"cornet/internal/inventory"
+	"cornet/internal/obs"
 	"cornet/internal/verify/kpi"
 	"cornet/internal/verify/stats"
 )
@@ -120,8 +121,15 @@ func (v *Verifier) Verify(rule Rule, study []string, changeAt map[string]int, co
 // wrapping ctx.Err().
 func (v *Verifier) VerifyContext(ctx context.Context, rule Rule, study []string, changeAt map[string]int, control []string) (*Report, error) {
 	start := time.Now()
+	ctx, vsp := obs.StartSpan(ctx, "verify.rule")
+	vsp.SetAttr("rule", rule.Name)
+	vsp.SetAttr("study", len(study))
+	vsp.SetAttr("control", len(control))
+	defer vsp.End()
 	if len(study) == 0 || len(control) == 0 {
-		return nil, fmt.Errorf("verifier: study and control groups must be non-empty")
+		err := fmt.Errorf("verifier: study and control groups must be non-empty")
+		vsp.Fail(err)
+		return nil, err
 	}
 	defs, err := v.resolveKPIs(rule)
 	if err != nil {
@@ -177,7 +185,16 @@ func (v *Verifier) VerifyContext(ctx context.Context, rule Rule, study []string,
 				if ctx.Err() != nil {
 					continue // drain the queue without doing the work
 				}
+				_, ksp := obs.StartSpan(ctx, "verify.kpi."+j.def.Name)
 				res := v.verifyKPI(j.def, rule, study, changeAt, control, ctrlChange, maxPost, alpha)
+				ksp.SetAttr("verdict", string(res.Verdict))
+				ksp.SetAttr("p_value", res.PValue)
+				ksp.SetAttr("shift", res.Shift)
+				if res.Unexpected {
+					ksp.SetAttr("unexpected", true)
+				}
+				ksp.End()
+				metricVerifyKPIs.With(string(res.Verdict)).Inc()
 				results[j.idx] = res
 			}
 		}()
@@ -193,7 +210,9 @@ feed:
 	close(jobs)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("verifier: %w", err)
+		err = fmt.Errorf("verifier: %w", err)
+		vsp.Fail(err)
+		return nil, err
 	}
 
 	for _, r := range results {
@@ -203,6 +222,14 @@ feed:
 	}
 	report.Results = results
 	report.Elapsed = time.Since(start)
+	decision := "go"
+	if !report.Go {
+		decision = "no-go"
+	}
+	vsp.SetAttr("go", report.Go)
+	vsp.SetAttr("kpis", len(results))
+	metricVerifyRuns.With(decision).Inc()
+	metricVerifyWall.With(rule.Name).Observe(report.Elapsed.Seconds())
 	return report, nil
 }
 
