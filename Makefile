@@ -32,5 +32,6 @@ cover:
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkPlannerScale -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/plan/...
 
 check: build vet fmt-check test race

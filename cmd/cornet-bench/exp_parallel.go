@@ -33,8 +33,11 @@ type benchEntry struct {
 	NsPerOp     int64   `json:"ns_per_op"`
 	Nodes       int64   `json:"nodes,omitempty"`
 	NodesPerSec float64 `json:"nodes_per_sec,omitempty"`
-	SpeedupVs1  float64 `json:"speedup_vs_1"`
-	Objective   int64   `json:"objective"`
+	// DomainPrunes counts start slots removed by the solver's capacity
+	// forward-checking (solver backend only).
+	DomainPrunes int64   `json:"domain_prunes,omitempty"`
+	SpeedupVs1   float64 `json:"speedup_vs_1"`
+	Objective    int64   `json:"objective"`
 }
 
 // benchReport is the BENCH_plan.json schema.
@@ -103,7 +106,7 @@ func runBenchParallel(quick bool) error {
 	var solverBase float64
 	for _, w := range workerCounts {
 		var elapsed time.Duration
-		var nodes, objective int64
+		var nodes, prunes, objective int64
 		for rep := 0; rep < reps; rep++ {
 			start := time.Now()
 			sched, err := solver.Solve(tr.Model, solver.Options{
@@ -114,6 +117,7 @@ func runBenchParallel(quick bool) error {
 				return fmt.Errorf("solver workers=%d: %w", w, err)
 			}
 			nodes += sched.Nodes
+			prunes += sched.DomainPrunes
 			objective = sched.Cost
 		}
 		nsPerOp := elapsed.Nanoseconds() / int64(reps)
@@ -127,7 +131,8 @@ func runBenchParallel(quick bool) error {
 		report.Entries = append(report.Entries, benchEntry{
 			Backend: "solver", Workers: w, Reps: reps, NsPerOp: nsPerOp,
 			Nodes: nodes / int64(reps), NodesPerSec: nodesPerSec,
-			SpeedupVs1: speedup, Objective: objective,
+			DomainPrunes: prunes / int64(reps),
+			SpeedupVs1:   speedup, Objective: objective,
 		})
 		fmt.Printf("%-10s %8d %14d %14.0f %9.2fx\n", "solver", w, nsPerOp, nodesPerSec, speedup)
 	}

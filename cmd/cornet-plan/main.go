@@ -141,6 +141,9 @@ func main() {
 					line += fmt.Sprintf(" nodes_per_worker=%d", st.NodesPerWorker)
 				}
 			}
+			if st.DomainPrunes > 0 {
+				line += fmt.Sprintf(" domain_prunes=%d", st.DomainPrunes)
+			}
 			if st.TimedOut {
 				line += " timed_out=true"
 			}

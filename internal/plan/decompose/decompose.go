@@ -191,6 +191,7 @@ func Contract(m *model.Model) (*model.Model, func(model.Schedule) model.Schedule
 		out.Optimal = s.Optimal
 		out.Nodes = s.Nodes
 		out.Workers = s.Workers
+		out.DomainPrunes = s.DomainPrunes
 		return out
 	}
 	return c, expand, nil
@@ -465,7 +466,7 @@ func SolveContext(ctx context.Context, m *model.Model, opt SolveOptions) (model.
 	}
 	slots := make([]int, len(work.Items))
 	optimal := true
-	var nodes int64
+	var nodes, prunes int64
 	workers := 0
 	for i, r := range results {
 		if !solved[i] {
@@ -476,6 +477,7 @@ func SolveContext(ctx context.Context, m *model.Model, opt SolveOptions) (model.
 		}
 		optimal = optimal && r.Optimal
 		nodes += r.Nodes
+		prunes += r.DomainPrunes
 		if r.Workers > workers {
 			workers = r.Workers
 		}
@@ -487,6 +489,7 @@ func SolveContext(ctx context.Context, m *model.Model, opt SolveOptions) (model.
 	merged.Optimal = optimal
 	merged.Nodes = nodes
 	merged.Workers = workers
+	merged.DomainPrunes = prunes
 	if v := work.Check(slots); len(v) > 0 {
 		return model.Schedule{}, fmt.Errorf("decompose: merged schedule infeasible: %v", v[0])
 	}

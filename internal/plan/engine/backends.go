@@ -60,6 +60,7 @@ func fromSchedule(req *Request, sched model.Schedule, st *Stats) Result {
 	if st.Workers > 0 {
 		st.NodesPerWorker = st.Nodes / int64(st.Workers)
 	}
+	st.DomainPrunes = sched.DomainPrunes
 	var assignment map[string]int
 	var leftovers []string
 	if req.Expand != nil {

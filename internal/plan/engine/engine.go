@@ -113,6 +113,10 @@ type Stats struct {
 	// NodesPerWorker is Nodes/Workers for model-driven backends — the mean
 	// per-worker exploration effort (0 when Workers is unknown).
 	NodesPerWorker int64
+	// DomainPrunes counts start slots the solver removed from block
+	// domains via capacity forward-checking (0 for backends without
+	// domain propagation).
+	DomainPrunes int64
 	// Objective is the backend's own objective value (model cost for the
 	// solver backends, weighted total completion time for the heuristic).
 	Objective int64

@@ -427,6 +427,10 @@ type Schedule struct {
 	// Workers is the parallel search worker count that produced the
 	// schedule (0 when the producer predates parallel search).
 	Workers int
+	// DomainPrunes counts start slots removed from block domains by the
+	// solver's capacity forward-checking (0 for producers without domain
+	// propagation, e.g. the heuristic backend).
+	DomainPrunes int64
 }
 
 // Weight returns item i's effective weight (>=1).

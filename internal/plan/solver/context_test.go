@@ -50,3 +50,25 @@ func TestSolveContextBackgroundMatchesSolve(t *testing.T) {
 		t.Fatalf("SolveContext = %+v, Solve = %+v", got, want)
 	}
 }
+
+func TestSolveContextDeadlineBeforeTimeLimit(t *testing.T) {
+	// A live context deadline shorter than TimeLimit must tighten the
+	// soft budget: the search hands back its incumbent near the context
+	// deadline instead of running on and losing it to ctx.Err().
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	sched, err := SolveContext(ctx, denseModel(240), Options{
+		Parallelism: 1, MaxNodes: 1 << 40, TimeLimit: time.Hour,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("SolveContext: %v (want incumbent, elapsed %v)", err, elapsed)
+	}
+	if sched.Optimal {
+		t.Fatal("dense model unexpectedly proved optimal before the deadline")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("solve ran %v, ignored the 300ms context deadline", elapsed)
+	}
+}

@@ -3,12 +3,16 @@
 // generated scheduling models of internal/plan/model. It plays the role
 // OR-Tools / CBC play behind MiniZinc in the paper (Section 3.3).
 //
-// The search assigns items (or whole consistency groups) to timeslots in a
-// static most-constrained-first order, propagating capacity, group-count,
-// uniformity, and localize state incrementally, and prunes with a simple
-// additive lower bound. The objective matches Listing 2: BigM * conflicts
-// + weighted completion time + skip penalties, so conflict count is
-// lexicographically minimized first.
+// The search assigns items (or whole consistency groups) to timeslots,
+// picking the unassigned block with the fewest live start slots first
+// (fail-first over per-block slot-domain bitsets) and trying candidate
+// slots in ascending incremental-cost order so good incumbents land early.
+// Capacity, group-count, uniformity, and localize state propagate
+// incrementally through a preallocated undo arena, capacity saturation
+// forward-checks member domains, and an additive per-block lower bound
+// (cheapest live slot or skip, summed over unassigned blocks) prunes. The
+// objective matches Listing 2: BigM * conflicts + weighted completion time
+// + skip penalties, so conflict count is lexicographically minimized first.
 //
 // As in the paper, dense constraint templates (uniformity, localize) make
 // the search work much harder than sparse capacity rows; Section 4.2's
@@ -20,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -27,6 +32,18 @@ import (
 	"time"
 
 	"cornet/internal/plan/model"
+)
+
+const (
+	// failFirstWindow bounds the fail-first scan: the selector examines at
+	// most this many unassigned blocks (in static most-constrained order)
+	// for the smallest live domain, keeping selection O(1) per node.
+	failFirstWindow = 8
+	// fcMaxMembers disables capacity forward-checking for (capacity, set)
+	// pairs with more member blocks than this: clearing hundreds of
+	// domains on every saturation costs more than the feasible() calls it
+	// saves.
+	fcMaxMembers = 64
 )
 
 // Options bound the search.
@@ -79,9 +96,11 @@ func Solve(m *model.Model, opt Options) (model.Schedule, error) {
 //
 // The search honours two distinct time bounds: Options.TimeLimit expiry
 // returns the best incumbent found so far (soft budget), while ctx
-// cancellation or deadline expiry aborts the search with an error wrapping
-// ctx.Err() (hard stop — the portfolio engine uses this to kill losing
-// backends).
+// cancellation aborts the search with an error wrapping ctx.Err() (hard
+// stop — the portfolio engine uses this to kill losing backends). A ctx
+// deadline that undercuts TimeLimit tightens the soft budget instead, so
+// -timeout flags and HTTP request deadlines yield the incumbent rather
+// than an error.
 //
 // With Options.Parallelism != 1 the root of the search tree is split
 // across workers sharing one incumbent bound. A completed parallel search
@@ -99,6 +118,14 @@ func SolveContext(ctx context.Context, m *model.Model, opt Options) (model.Sched
 	}
 	s := newState(m, opt)
 	s.ctx = ctx
+	if d, ok := ctx.Deadline(); ok {
+		// Stop slightly ahead of the context's hard deadline so the search
+		// returns its incumbent instead of racing ctx.Err() in checkBudget.
+		soft := time.Now().Add(time.Until(d) * 9 / 10)
+		if soft.Before(s.deadline) {
+			s.deadline = soft
+		}
+	}
 	workers := opt.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -126,6 +153,7 @@ func SolveContext(ctx context.Context, m *model.Model, opt Options) (model.Sched
 	sched.Optimal = s.complete
 	sched.Nodes = s.nodes
 	sched.Workers = 1
+	sched.DomainPrunes = s.domPrunes
 	if v := m.Check(s.bestSlots); len(v) > 0 {
 		return model.Schedule{}, fmt.Errorf("solver: internal error, produced infeasible schedule: %v", v[0])
 	}
@@ -180,14 +208,16 @@ func lexLess(a, b []int) bool {
 }
 
 // solveParallel splits the search at the root: the first block's start
-// slots (and the skip branch when leftovers are allowed) are dealt
-// round-robin to workers, each exploring its subtrees on a private cloned
-// state while pruning against the shared incumbent.
+// slots (in incremental-cost order, plus the skip branch when leftovers
+// are allowed) are dealt round-robin to workers, each exploring its
+// subtrees on a private cloned state while pruning against the shared
+// incumbent.
 func solveParallel(ctx context.Context, m *model.Model, opt Options, base *state, workers int) (model.Schedule, error) {
 	rootBi := base.order[0]
+	rb := &base.blocks[rootBi]
 	decisions := make([]int, 0, m.NumSlots+1)
-	for t := 0; t < m.NumSlots; t++ {
-		decisions = append(decisions, t)
+	for _, t := range rb.valOrder {
+		decisions = append(decisions, int(t))
 	}
 	if !m.RequireAll {
 		decisions = append(decisions, -1) // the skip branch
@@ -209,26 +239,33 @@ func solveParallel(ctx context.Context, m *model.Model, opt Options, base *state
 			defer wg.Done()
 			defer ws.flushNodes()
 			b := &ws.blocks[rootBi]
+			lbRest := ws.lbUnassigned - ws.contrib[rootBi]
+			// The depth-0 mask stays valid across root decisions:
+			// every subtree restores state exactly on return.
+			scratch := ws.buildScratch(rootBi, b, 0)
 			for di := w; di < len(decisions); di += workers {
 				if ws.stopped {
 					return
 				}
 				t := decisions[di]
 				if t < 0 {
-					ws.assigned[rootBi] = -1
-					added := int64(m.SkipPenalty) * int64(b.weight)
-					ws.cost += added
+					if ws.cost+b.skipCost+lbRest >= ws.bound() {
+						continue
+					}
+					ws.assignSkip(rootBi, b)
 					ws.search(1)
-					ws.cost -= added
-					ws.assigned[rootBi] = -2
+					ws.undoSkip(rootBi, b)
 					continue
 				}
-				if !ws.feasible(b, t) {
+				if ws.cost+b.costAt[t]+lbRest >= ws.bound() {
 					continue
 				}
-				u, added := ws.place(rootBi, b, t)
+				if scratch[t>>6]&(1<<(uint(t)&63)) == 0 || !ws.feasible(b, t) {
+					continue
+				}
+				mark, added := ws.place(rootBi, b, t)
 				ws.search(1)
-				ws.unplace(rootBi, b, t, u, added)
+				ws.unplace(rootBi, b, t, mark, added)
 			}
 		}(w, states[w])
 	}
@@ -236,8 +273,10 @@ func solveParallel(ctx context.Context, m *model.Model, opt Options, base *state
 	nodes := sh.nodes.Load() + 1 // + the split root node
 	complete := true
 	var ctxErr error
+	var prunes int64
 	for _, ws := range states {
 		complete = complete && ws.complete
+		prunes += ws.domPrunes
 		if ws.ctxErr != nil && ctxErr == nil {
 			ctxErr = ws.ctxErr
 		}
@@ -258,6 +297,7 @@ func solveParallel(ctx context.Context, m *model.Model, opt Options, base *state
 	sched.Optimal = complete
 	sched.Nodes = nodes
 	sched.Workers = workers
+	sched.DomainPrunes = prunes
 	if v := m.Check(sh.bestSlots); len(v) > 0 {
 		return model.Schedule{}, fmt.Errorf("solver: internal error, produced infeasible schedule: %v", v[0])
 	}
@@ -286,21 +326,63 @@ type block struct {
 	// locGroups lists (localize index, group index) memberships.
 	locGroups [][2]int
 	// forbidden lists banned START slots: a start is banned when any
-	// member would occupy one of its forbidden slots (sorted).
+	// member would occupy one of its forbidden slots (sorted). Folded into
+	// the slot-domain bitset at newState time.
 	forbidden []int
 	// conflictCount[t] = member-slot collisions when starting at t; nil
 	// when the block has no conflicting member (dense by slot — the map it
 	// replaces dominated the hot placement path).
 	conflictCount []int
+	// costAt[t] is the exact incremental cost of starting at t
+	// (t*weight + costConst + BigM*conflicts), precomputed so value
+	// ordering and the lower bound never recompute it.
+	costAt []int64
+	// valOrder lists slots in ascending costAt (ties slot-ascending): the
+	// value-selection order, also reused as the min scan order for the
+	// per-block contribution bound.
+	valOrder []int32
+	// skipCost is the leftover penalty SkipPenalty*weight.
+	skipCost int64
 }
 
 type capUse struct {
 	c, set int
-	wOff   []int
+	// flat is the global (capacity, set) index into the state's
+	// forward-checking tables.
+	flat int
+	// cap and bucketSlots mirror the constraint's Cap/BucketSlots so the
+	// hot path avoids re-loading the Capacity struct per placement.
+	cap, bucketSlots int
+	wOff             []int
 	// prefix[k] = sum(wOff[:k]), precomputed so feasible can take the
 	// within-placement contribution of any bucket segment in O(1) instead
 	// of rescanning earlier offsets per offset.
 	prefix []int
+}
+
+// uniSnap/locSnap/domSnap/ctrSnap are the undo-arena records; undoMark
+// captures the four stack depths at place() entry so unplace() can pop
+// exactly the changes of one placement without allocating.
+type uniSnap struct {
+	ui, slot int
+	lo, hi   float64
+	has      bool
+}
+type locSnap struct {
+	li, grp int
+	lo, hi  int
+	has     bool
+}
+type domSnap struct {
+	bi, word int32 // word is the global index into state.dom
+	mask     uint64
+}
+type ctrSnap struct {
+	bi  int32
+	old int64
+}
+type undoMark struct {
+	uni, loc, dom, ctr int
 }
 
 type state struct {
@@ -308,7 +390,7 @@ type state struct {
 	opt Options
 
 	blocks []block
-	order  []int // block indexes in search order
+	order  []int // block indexes in static most-constrained-first order
 
 	// usage[c][set][t]
 	usage [][][]int
@@ -322,22 +404,66 @@ type state struct {
 	locLo, locHi [][]int
 	locHas       [][]bool
 
+	// dom is the flattened per-block slot-domain bitset: block bi's words
+	// live at [bi*domWords, (bi+1)*domWords). A set bit marks a start slot
+	// not yet proven infeasible: the window bound and forbidden slots are
+	// seeded out at newState time and capacity forward-checking clears
+	// more during search.
+	dom      []uint64
+	domWords int
+	domCount []int
+	// contrib[bi] is the admissible per-block completion bound: the
+	// cheapest incremental cost an unassigned block can still achieve
+	// (min costAt over its live domain, or the skip cost when leftovers
+	// are allowed). lbUnassigned is its sum over unassigned blocks.
+	contrib      []int64
+	lbUnassigned int64
+	// deadEnds counts unassigned must-place blocks with empty domains; any
+	// positive value proves the current subtree infeasible.
+	deadEnds int
+	// Fail-first selection state: a doubly-linked list over static-order
+	// positions of the still-unassigned blocks (sentinel = len(order)).
+	unNext, unPrev []int32
+	posOf          []int32 // block index -> static-order position
+	// Forward-checking tables per flat (capacity, set) index: the member
+	// blocks to prune on saturation (nil = per-member FC disabled for
+	// that set) and the usage threshold whose crossing triggers the
+	// prune. Sets too wide for per-member pruning get a shared
+	// saturation bitset instead: satMask[flat] bit u is set while slot
+	// u's bucket cannot fit even the lightest member, maintained
+	// symmetrically by place/unplace crossings (no undo log needed).
+	fcMembers [][]int32
+	fcThr     []int
+	satMask   [][]uint64
+	// fcActive reports whether any set does per-member pruning: when
+	// false, domains never shrink after newState and the static order
+	// already is the fail-first order.
+	fcActive bool
+	// scratchBuf holds one candidate-mask row per search depth: the
+	// selected block's domain minus saturated capacity slots and
+	// localize-interleaving starts, rebuilt at each node.
+	scratchBuf []uint64
+
+	// Zero-alloc undo arenas (grow-once stacks popped via undoMark).
+	uniStack []uniSnap
+	locStack []locSnap
+	domStack []domSnap
+	ctrStack []ctrSnap
+
 	assigned  []int // per block: slot or -1 skip; -2 unassigned
 	cost      int64
 	conflicts int64
-	// suffixWeight[pos] = sum of block weights from order[pos:], the O(1)
-	// optimistic lower bound on the remaining completion cost.
-	suffixWeight []int64
 
 	bestSlots []int
 	bestCost  int64
 
-	nodes    int64
-	deadline time.Time
-	complete bool
-	stopped  bool
-	ctx      context.Context
-	ctxErr   error
+	nodes     int64
+	domPrunes int64
+	deadline  time.Time
+	complete  bool
+	stopped   bool
+	ctx       context.Context
+	ctxErr    error
 
 	// shared is non-nil for parallel workers: the global incumbent bound,
 	// node total, and stop flag. flushed counts the nodes already added to
@@ -491,7 +617,9 @@ func newState(m *model.Model, opt Options) *state {
 			for o, w := range wOff {
 				prefix[o+1] = prefix[o] + w
 			}
-			b.capUse = append(b.capUse, capUse{c: k[0], set: k[1], wOff: wOff, prefix: prefix})
+			b.capUse = append(b.capUse, capUse{c: k[0], set: k[1],
+				cap: m.Capacities[k[0]].Cap, bucketSlots: m.Capacities[k[0]].BucketSlots,
+				wOff: wOff, prefix: prefix})
 		}
 		sort.Slice(b.capUse, func(x, y int) bool {
 			if b.capUse[x].c != b.capUse[y].c {
@@ -519,25 +647,140 @@ func newState(m *model.Model, opt Options) *state {
 				}
 			}
 		}
+		// Value ordering: exact incremental cost per start slot, slots
+		// sorted cheapest-first (ties slot-ascending so the sequential
+		// search and lex tie-breaks stay deterministic). Under
+		// ZeroConflict the conflicting starts are forbidden (domain
+		// facts), so costAt carries no BigM term.
+		b.skipCost = int64(m.SkipPenalty) * int64(b.weight)
+		b.costAt = make([]int64, T)
+		for t := 0; t < T; t++ {
+			ca := int64(t)*int64(b.weight) + b.costConst
+			if !m.ZeroConflict && b.conflictCount != nil {
+				ca += int64(m.BigM) * int64(b.conflictCount[t])
+			}
+			b.costAt[t] = ca
+		}
+		b.valOrder = make([]int32, T)
+		for t := range b.valOrder {
+			b.valOrder[t] = int32(t)
+		}
+		sort.SliceStable(b.valOrder, func(x, y int) bool {
+			return b.costAt[b.valOrder[x]] < b.costAt[b.valOrder[y]]
+		})
 	}
 	s.blocks = blocks
 
-	// Search order: most-constrained first — blocks with conflicts, then
-	// larger weight, then fewer allowed slots via forbidden count.
+	// Slot-domain bitsets: seed each block's live start slots from the
+	// window bound (t+duration <= NumSlots) minus its forbidden starts.
+	s.domWords = (T + 63) >> 6
+	s.dom = make([]uint64, len(blocks)*s.domWords)
+	s.domCount = make([]int, len(blocks))
+	for bi := range blocks {
+		b := &blocks[bi]
+		base := bi * s.domWords
+		cnt := T - b.duration + 1
+		if cnt < 0 {
+			cnt = 0
+		}
+		for t := 0; t+b.duration <= T; t++ {
+			s.dom[base+(t>>6)] |= 1 << (uint(t) & 63)
+		}
+		for _, f := range b.forbidden {
+			if f+b.duration <= T && s.dom[base+(f>>6)]&(1<<(uint(f)&63)) != 0 {
+				s.dom[base+(f>>6)] &^= 1 << (uint(f) & 63)
+				cnt--
+			}
+		}
+		s.domCount[bi] = cnt
+	}
+
+	// Static search order: most-constrained first by live-domain size,
+	// then larger weight, then index. order[0] doubles as the fixed root
+	// block of the parallel split, and selectBlock falls back to this
+	// order on domain-count ties.
 	s.order = make([]int, len(blocks))
 	for i := range s.order {
 		s.order[i] = i
 	}
 	sort.SliceStable(s.order, func(x, y int) bool {
-		a, b := &blocks[s.order[x]], &blocks[s.order[y]]
-		if len(a.forbidden) != len(b.forbidden) {
-			return len(a.forbidden) > len(b.forbidden)
+		a, b := s.order[x], s.order[y]
+		if s.domCount[a] != s.domCount[b] {
+			return s.domCount[a] < s.domCount[b]
 		}
-		if a.weight != b.weight {
-			return a.weight > b.weight
+		if blocks[a].weight != blocks[b].weight {
+			return blocks[a].weight > blocks[b].weight
 		}
-		return s.order[x] < s.order[y]
+		return a < b
 	})
+	nOrd := len(s.order)
+	s.posOf = make([]int32, len(blocks))
+	for pos, bi := range s.order {
+		s.posOf[bi] = int32(pos)
+	}
+	s.unNext = make([]int32, nOrd+1)
+	s.unPrev = make([]int32, nOrd+1)
+	for pos := 0; pos <= nOrd; pos++ {
+		s.unNext[pos] = int32((pos + 1) % (nOrd + 1))
+		s.unPrev[pos] = int32((pos + nOrd) % (nOrd + 1))
+	}
+	s.scratchBuf = make([]uint64, (nOrd+1)*s.domWords)
+
+	// Forward-checking tables: per flat (capacity, set) index, the member
+	// blocks and the saturation threshold Cap - min contributed weight.
+	// Every wOff entry is >= 1, so once usage exceeds the threshold every
+	// unassigned member placement touching the bucket must overflow it.
+	setBase := make([]int, len(m.Capacities)+1)
+	for ci, c := range m.Capacities {
+		setBase[ci+1] = setBase[ci] + len(c.Sets)
+	}
+	nFlat := setBase[len(m.Capacities)]
+	s.fcMembers = make([][]int32, nFlat)
+	s.fcThr = make([]int, nFlat)
+	s.satMask = make([][]uint64, nFlat)
+	minW := make([]int, nFlat)
+	for i := range minW {
+		minW[i] = math.MaxInt
+	}
+	maxW := make([]int, nFlat) // upper bound on any bucket's total load
+	for bi := range blocks {
+		for ci := range blocks[bi].capUse {
+			cu := &blocks[bi].capUse[ci]
+			cu.flat = setBase[cu.c] + cu.set
+			s.fcMembers[cu.flat] = append(s.fcMembers[cu.flat], int32(bi))
+			for _, w := range cu.wOff {
+				if w < minW[cu.flat] {
+					minW[cu.flat] = w
+				}
+				maxW[cu.flat] += w
+			}
+		}
+	}
+	for ci, c := range m.Capacities {
+		for si := range c.Sets {
+			flat := setBase[ci] + si
+			if len(s.fcMembers[flat]) == 0 {
+				s.fcMembers[flat] = nil
+				s.fcThr[flat] = -1
+				continue
+			}
+			s.fcThr[flat] = c.Cap - minW[flat]
+			if maxW[flat] <= s.fcThr[flat] {
+				// Even all members together cannot push a bucket past the
+				// threshold (a slack constraint, e.g. capacity far above the
+				// set's total weight): the crossing can never fire, so skip
+				// the propagation tables entirely.
+				s.fcMembers[flat] = nil
+				continue
+			}
+			if len(s.fcMembers[flat]) > fcMaxMembers {
+				s.fcMembers[flat] = nil
+				s.satMask[flat] = make([]uint64, s.domWords)
+			} else {
+				s.fcActive = true
+			}
+		}
+	}
 
 	// Constraint state.
 	s.usage = make([][][]int, len(m.Capacities))
@@ -576,22 +819,43 @@ func newState(m *model.Model, opt Options) *state {
 	for i := range s.assigned {
 		s.assigned[i] = -2
 	}
-	s.suffixWeight = make([]int64, len(s.order)+1)
-	for pos := len(s.order) - 1; pos >= 0; pos-- {
-		s.suffixWeight[pos] = s.suffixWeight[pos+1] + int64(blocks[s.order[pos]].weight)
+
+	// Per-block completion bounds and the initial dead-end census.
+	s.contrib = make([]int64, len(blocks))
+	for bi := range blocks {
+		s.contrib[bi] = s.blockContrib(bi)
+		s.lbUnassigned += s.contrib[bi]
+		if m.RequireAll && s.domCount[bi] == 0 {
+			s.deadEnds++
+		}
 	}
+
+	// Undo arenas: uni/loc worst cases are exact (every block placed at
+	// once), dom/ctr grow once under forward-checking pressure.
+	uniCap, locCap := 0, 0
+	for bi := range blocks {
+		uniCap += len(m.Uniform) * blocks[bi].duration
+		locCap += len(blocks[bi].locGroups)
+	}
+	s.uniStack = make([]uniSnap, 0, uniCap)
+	s.locStack = make([]locSnap, 0, locCap)
+	s.domStack = make([]domSnap, 0, 64)
+	s.ctrStack = make([]ctrSnap, 0, 64)
 	return s
 }
 
 // clone deep-copies the mutable search state (constraint propagation
-// arrays, assignment, cost) for a parallel worker; the immutable model,
-// blocks, order, and suffix bound are shared.
+// arrays, domains, bounds, assignment, cost) for a parallel worker; the
+// immutable model, blocks, order, position map, and forward-checking
+// tables are shared. Undo arenas start empty at the parent's capacity.
 func (s *state) clone() *state {
 	c := &state{
 		m: s.m, opt: s.opt, blocks: s.blocks, order: s.order,
-		suffixWeight: s.suffixWeight, bestCost: math.MaxInt64,
-		deadline: s.deadline, complete: true,
+		bestCost: math.MaxInt64, deadline: s.deadline, complete: true,
 		cost: s.cost, conflicts: s.conflicts,
+		domWords: s.domWords, posOf: s.posOf,
+		fcMembers: s.fcMembers, fcThr: s.fcThr, fcActive: s.fcActive,
+		lbUnassigned: s.lbUnassigned, deadEnds: s.deadEnds,
 	}
 	c.usage = make([][][]int, len(s.usage))
 	for i, sets := range s.usage {
@@ -618,6 +882,22 @@ func (s *state) clone() *state {
 	c.locHi = cloneInt(s.locHi)
 	c.locHas = cloneBool(s.locHas)
 	c.assigned = append([]int(nil), s.assigned...)
+	c.satMask = make([][]uint64, len(s.satMask))
+	for i, m := range s.satMask {
+		if m != nil {
+			c.satMask[i] = append([]uint64(nil), m...)
+		}
+	}
+	c.scratchBuf = make([]uint64, len(s.scratchBuf))
+	c.dom = append([]uint64(nil), s.dom...)
+	c.domCount = append([]int(nil), s.domCount...)
+	c.contrib = append([]int64(nil), s.contrib...)
+	c.unNext = append([]int32(nil), s.unNext...)
+	c.unPrev = append([]int32(nil), s.unPrev...)
+	c.uniStack = make([]uniSnap, 0, cap(s.uniStack))
+	c.locStack = make([]locSnap, 0, cap(s.locStack))
+	c.domStack = make([]domSnap, 0, 64)
+	c.ctrStack = make([]ctrSnap, 0, 64)
 	return c
 }
 
@@ -654,23 +934,43 @@ func sortPairs(ps [][2]int) {
 	})
 }
 
-// feasible reports whether block b can be placed at slot t given current
-// propagated state.
+// blockContrib returns the admissible minimum incremental cost for an
+// unassigned block: the cheapest costAt over its live domain (valOrder is
+// cost-sorted, so the first live bit wins), bounded by the skip cost when
+// leftovers are allowed. An empty domain under RequireAll floors at
+// costConst — deadEnds prunes those subtrees before the bound matters,
+// and the floor keeps lbUnassigned overflow-free.
+func (s *state) blockContrib(bi int) int64 {
+	b := &s.blocks[bi]
+	base := bi * s.domWords
+	for _, t32 := range b.valOrder {
+		t := int(t32)
+		if s.dom[base+(t>>6)]&(1<<(uint(t)&63)) != 0 {
+			if !s.m.RequireAll && b.skipCost < b.costAt[t] {
+				return b.skipCost
+			}
+			return b.costAt[t]
+		}
+	}
+	if !s.m.RequireAll {
+		return b.skipCost
+	}
+	return b.costConst
+}
+
+// feasible reports whether block b can be placed at start slot t given
+// current propagated state. The caller must have tested t against the
+// block's buildScratch mask first: the window bound, forbidden starts,
+// and localize interleaving are mask facts and are not re-checked here.
 func (s *state) feasible(b *block, t int) bool {
-	if t+b.duration > s.m.NumSlots {
-		return false
-	}
-	if containsSorted(b.forbidden, t) {
-		return false
-	}
-	for _, cu := range b.capUse {
-		c := s.m.Capacities[cu.c]
-		if c.BucketSlots <= 1 {
+	for ci := range b.capUse {
+		cu := &b.capUse[ci]
+		if cu.bucketSlots <= 1 {
 			// One bucket per slot: each offset contributes only its own
 			// weight.
 			use := s.usage[cu.c][cu.set]
 			for k, w := range cu.wOff {
-				if use[t+k]+w > c.Cap {
+				if use[t+k]+w > cu.cap {
 					return false
 				}
 			}
@@ -681,13 +981,13 @@ func (s *state) feasible(b *block, t int) bool {
 		// contribution to offset k's bucket is the prefix-sum span of the
 		// offsets sharing that bucket, precomputed at newState time.
 		for k := range cu.wOff {
-			bk := c.Bucket(t + k)
-			segStart := bk*c.BucketSlots - t
+			bk := (t + k) / cu.bucketSlots
+			segStart := bk*cu.bucketSlots - t
 			if segStart < 0 {
 				segStart = 0
 			}
 			add := cu.prefix[k+1] - cu.prefix[segStart]
-			if s.usage[cu.c][cu.set][bk]+add > c.Cap {
+			if s.usage[cu.c][cu.set][bk]+add > cu.cap {
 				return false
 			}
 		}
@@ -717,53 +1017,51 @@ func (s *state) feasible(b *block, t int) bool {
 			}
 		}
 	}
-	for _, lg := range b.locGroups {
-		li, grp := lg[0], lg[1]
-		newLo, newHi := t, t+b.duration-1
-		if s.locHas[li][grp] {
-			if s.locLo[li][grp] < newLo {
-				newLo = s.locLo[li][grp]
-			}
-			if s.locHi[li][grp] > newHi {
-				newHi = s.locHi[li][grp]
-			}
-		}
-		for other := range s.m.Localized[li].Groups {
-			if other == grp || !s.locHas[li][other] {
-				continue
-			}
-			if newLo < s.locHi[li][other] && s.locLo[li][other] < newHi {
-				return false
-			}
-		}
-	}
 	return true
 }
 
-// undoRec captures reversible state for one placement.
-type undoRec struct {
-	uniPrev []uniSnap
-	locPrev []locSnap
-}
-type uniSnap struct {
-	ui, slot int
-	lo, hi   float64
-	has      bool
-}
-type locSnap struct {
-	li, grp int
-	lo, hi  int
-	has     bool
+// listRemove/listRestore maintain the unassigned-position list; restore
+// relies on strict LIFO (dancing links).
+func (s *state) listRemove(pos int32) {
+	s.unNext[s.unPrev[pos]] = s.unNext[pos]
+	s.unPrev[s.unNext[pos]] = s.unPrev[pos]
 }
 
-// place applies block b at slot t and returns the undo record plus the
-// added cost.
-func (s *state) place(bi int, b *block, t int) (undoRec, int64) {
-	var u undoRec
-	for _, cu := range b.capUse {
-		c := s.m.Capacities[cu.c]
+func (s *state) listRestore(pos int32) {
+	s.unNext[s.unPrev[pos]] = pos
+	s.unPrev[s.unNext[pos]] = pos
+}
+
+// place applies block b at slot t and returns the undo mark plus the
+// added cost. It allocates nothing: all reversible changes go through the
+// preallocated arenas.
+func (s *state) place(bi int, b *block, t int) (undoMark, int64) {
+	mark := undoMark{uni: len(s.uniStack), loc: len(s.locStack),
+		dom: len(s.domStack), ctr: len(s.ctrStack)}
+	// Assignment bookkeeping first: the forward-checking events fired
+	// below must see bi as assigned so they do not prune (or dead-end) its
+	// own now-irrelevant domain.
+	s.assigned[bi] = t
+	s.listRemove(s.posOf[bi])
+	s.lbUnassigned -= s.contrib[bi]
+	for ci := range b.capUse {
+		cu := &b.capUse[ci]
+		use := s.usage[cu.c][cu.set]
+		thr := s.fcThr[cu.flat]
 		for k, w := range cu.wOff {
-			s.usage[cu.c][cu.set][c.Bucket(t+k)] += w
+			bk := t + k
+			if cu.bucketSlots > 1 {
+				bk /= cu.bucketSlots
+			}
+			old := use[bk]
+			use[bk] = old + w
+			if old <= thr && old+w > thr {
+				if mbrs := s.fcMembers[cu.flat]; mbrs != nil {
+					s.pruneBucket(mbrs, bk, cu.bucketSlots)
+				} else if sat := s.satMask[cu.flat]; sat != nil {
+					s.setSat(sat, bk, cu.bucketSlots)
+				}
+			}
 		}
 	}
 	for _, g := range b.gcGroups {
@@ -776,57 +1074,77 @@ func (s *state) place(bi int, b *block, t int) (undoRec, int64) {
 		}
 	}
 	for ui := range s.m.Uniform {
+		loRow, hiRow, hasRow := s.uniLo[ui], s.uniHi[ui], s.uniHas[ui]
 		for k := 0; k < b.duration; k++ {
 			tt := t + k
-			u.uniPrev = append(u.uniPrev, uniSnap{ui: ui, slot: tt,
-				lo: s.uniLo[ui][tt], hi: s.uniHi[ui][tt], has: s.uniHas[ui][tt]})
 			lo, hi := b.uniLo[ui], b.uniHi[ui]
-			if s.uniHas[ui][tt] {
-				if s.uniLo[ui][tt] < lo {
-					lo = s.uniLo[ui][tt]
+			if hasRow[tt] {
+				clo, chi := loRow[tt], hiRow[tt]
+				if clo <= lo && chi >= hi {
+					// The slot's band already covers the block: nothing
+					// changes, so no snapshot is needed.
+					continue
 				}
-				if s.uniHi[ui][tt] > hi {
-					hi = s.uniHi[ui][tt]
+				if clo < lo {
+					lo = clo
+				}
+				if chi > hi {
+					hi = chi
 				}
 			}
-			s.uniLo[ui][tt], s.uniHi[ui][tt], s.uniHas[ui][tt] = lo, hi, true
+			s.uniStack = append(s.uniStack, uniSnap{ui: ui, slot: tt,
+				lo: loRow[tt], hi: hiRow[tt], has: hasRow[tt]})
+			loRow[tt], hiRow[tt], hasRow[tt] = lo, hi, true
 		}
 	}
 	for _, lg := range b.locGroups {
 		li, grp := lg[0], lg[1]
-		u.locPrev = append(u.locPrev, locSnap{li: li, grp: grp,
-			lo: s.locLo[li][grp], hi: s.locHi[li][grp], has: s.locHas[li][grp]})
+		loRow, hiRow, hasRow := s.locLo[li], s.locHi[li], s.locHas[li]
 		lo, hi := t, t+b.duration-1
-		if s.locHas[li][grp] {
-			if s.locLo[li][grp] < lo {
-				lo = s.locLo[li][grp]
+		if hasRow[grp] {
+			clo, chi := loRow[grp], hiRow[grp]
+			if clo <= lo && chi >= hi {
+				// Placement inside the group's current interval: no change,
+				// no snapshot.
+				continue
 			}
-			if s.locHi[li][grp] > hi {
-				hi = s.locHi[li][grp]
+			if clo < lo {
+				lo = clo
+			}
+			if chi > hi {
+				hi = chi
 			}
 		}
-		s.locLo[li][grp], s.locHi[li][grp], s.locHas[li][grp] = lo, hi, true
+		s.locStack = append(s.locStack, locSnap{li: li, grp: grp,
+			lo: loRow[grp], hi: hiRow[grp], has: hasRow[grp]})
+		loRow[grp], hiRow[grp], hasRow[grp] = lo, hi, true
 	}
-	s.assigned[bi] = t
-	added := int64(t)*int64(b.weight) + b.costConst
+	added := b.costAt[t]
 	if !s.m.ZeroConflict && b.conflictCount != nil {
-		if c := b.conflictCount[t]; c > 0 {
-			s.conflicts += int64(c)
-			added += int64(s.m.BigM) * int64(c)
-		}
+		s.conflicts += int64(b.conflictCount[t])
 	}
 	s.cost += added
-	return u, added
+	return mark, added
 }
 
-// unplace reverses place.
-func (s *state) unplace(bi int, b *block, t int, u undoRec, added int64) {
-	for _, cu := range b.capUse {
-		c := s.m.Capacities[cu.c]
-		for k, w := range cu.wOff {
-			s.usage[cu.c][cu.set][c.Bucket(t+k)] -= w
-		}
+// unplace reverses place, popping each arena back to the mark. The pops
+// commute across arenas (dom restores bits/counts, ctr restores bounds),
+// so per-arena reverse order is all LIFO requires.
+func (s *state) unplace(bi int, b *block, t int, mark undoMark, added int64) {
+	s.cost -= added
+	if !s.m.ZeroConflict && b.conflictCount != nil {
+		s.conflicts -= int64(b.conflictCount[t])
 	}
+	for i := len(s.locStack) - 1; i >= mark.loc; i-- {
+		sn := &s.locStack[i]
+		s.locLo[sn.li][sn.grp], s.locHi[sn.li][sn.grp], s.locHas[sn.li][sn.grp] = sn.lo, sn.hi, sn.has
+	}
+	s.locStack = s.locStack[:mark.loc]
+	for i := len(s.uniStack) - 1; i >= mark.uni; i-- {
+		sn := &s.uniStack[i]
+		s.uniLo[sn.ui][sn.slot], s.uniHi[sn.ui][sn.slot], s.uniHas[sn.ui][sn.slot] = sn.lo, sn.hi, sn.has
+	}
+	s.uniStack = s.uniStack[:mark.uni]
 	for _, g := range b.gcGroups {
 		gi, grp := g[0], g[1]
 		for k := 0; k < b.duration; k++ {
@@ -836,25 +1154,334 @@ func (s *state) unplace(bi int, b *block, t int, u undoRec, added int64) {
 			}
 		}
 	}
-	for _, snap := range u.uniPrev {
-		s.uniLo[snap.ui][snap.slot], s.uniHi[snap.ui][snap.slot], s.uniHas[snap.ui][snap.slot] = snap.lo, snap.hi, snap.has
+	for i := len(s.ctrStack) - 1; i >= mark.ctr; i-- {
+		sn := s.ctrStack[i]
+		s.lbUnassigned += sn.old - s.contrib[sn.bi]
+		s.contrib[sn.bi] = sn.old
 	}
-	for _, snap := range u.locPrev {
-		s.locLo[snap.li][snap.grp], s.locHi[snap.li][snap.grp], s.locHas[snap.li][snap.grp] = snap.lo, snap.hi, snap.has
+	s.ctrStack = s.ctrStack[:mark.ctr]
+	for i := len(s.domStack) - 1; i >= mark.dom; i-- {
+		sn := s.domStack[i]
+		if s.m.RequireAll && s.domCount[sn.bi] == 0 {
+			s.deadEnds--
+		}
+		s.dom[sn.word] |= sn.mask
+		s.domCount[sn.bi] += bits.OnesCount64(sn.mask)
 	}
+	s.domStack = s.domStack[:mark.dom]
+	for ci := range b.capUse {
+		cu := &b.capUse[ci]
+		use := s.usage[cu.c][cu.set]
+		thr := s.fcThr[cu.flat]
+		for k, w := range cu.wOff {
+			bk := t + k
+			if cu.bucketSlots > 1 {
+				bk /= cu.bucketSlots
+			}
+			old := use[bk]
+			use[bk] = old - w
+			if old > thr && old-w <= thr {
+				// Mirror of the place crossing: the per-member prune is
+				// undone via the dom stack above; the shared saturation
+				// bitset is cleared symmetrically here.
+				if sat := s.satMask[cu.flat]; sat != nil {
+					s.clearSat(sat, bk, cu.bucketSlots)
+				}
+			}
+		}
+	}
+	s.lbUnassigned += s.contrib[bi]
+	s.listRestore(s.posOf[bi])
 	s.assigned[bi] = -2
-	s.cost -= added
-	if !s.m.ZeroConflict && b.conflictCount != nil {
-		if c := b.conflictCount[t]; c > 0 {
-			s.conflicts -= int64(c)
+}
+
+// assignSkip/undoSkip handle the leftover branch with the same
+// list/lower-bound bookkeeping as place/unplace.
+func (s *state) assignSkip(bi int, b *block) {
+	s.assigned[bi] = -1
+	s.listRemove(s.posOf[bi])
+	s.lbUnassigned -= s.contrib[bi]
+	s.cost += b.skipCost
+}
+
+func (s *state) undoSkip(bi int, b *block) {
+	s.cost -= b.skipCost
+	s.lbUnassigned += s.contrib[bi]
+	s.listRestore(s.posOf[bi])
+	s.assigned[bi] = -2
+}
+
+// pruneBucket fires when a capacity bucket saturates: any unassigned
+// member block starting where its occupancy touches the bucket would
+// overflow it, so those start slots are cleared from the member domains
+// (restored on backtrack via the dom stack).
+func (s *state) pruneBucket(mbrs []int32, bk, width int) {
+	if width < 1 {
+		width = 1
+	}
+	for _, mb := range mbrs {
+		bi := int(mb)
+		if s.assigned[bi] != -2 {
+			continue
+		}
+		b := &s.blocks[bi]
+		lo := bk*width - b.duration + 1
+		if lo < 0 {
+			lo = 0
+		}
+		hi := (bk+1)*width - 1
+		if hi > s.m.NumSlots-1 {
+			hi = s.m.NumSlots - 1
+		}
+		if lo <= hi {
+			s.clearRange(bi, b, lo, hi)
 		}
 	}
 }
 
-// lowerBoundRemaining is an optimistic completion for unassigned blocks:
-// each at slot 0 with no conflicts.
-func (s *state) lowerBoundRemaining(pos int) int64 {
-	return s.suffixWeight[pos]
+// clearRange clears block bi's live start bits in [lo, hi], logging the
+// cleared masks for undo and refreshing the block's contribution bound.
+func (s *state) clearRange(bi int, b *block, lo, hi int) {
+	base := bi * s.domWords
+	loW, hiW := lo>>6, hi>>6
+	cleared := 0
+	for w := loW; w <= hiW; w++ {
+		mask := ^uint64(0)
+		if w == loW {
+			mask &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if w == hiW {
+			mask &= ^uint64(0) >> (63 - uint(hi)&63)
+		}
+		live := s.dom[base+w] & mask
+		if live == 0 {
+			continue
+		}
+		s.dom[base+w] &^= live
+		s.domStack = append(s.domStack, domSnap{bi: int32(bi), word: int32(base + w), mask: live})
+		cleared += bits.OnesCount64(live)
+	}
+	if cleared == 0 {
+		return
+	}
+	s.domPrunes += int64(cleared)
+	s.domCount[bi] -= cleared
+	if s.m.RequireAll && s.domCount[bi] == 0 {
+		s.deadEnds++
+	}
+	if nc := s.blockContrib(bi); nc != s.contrib[bi] {
+		s.ctrStack = append(s.ctrStack, ctrSnap{bi: int32(bi), old: s.contrib[bi]})
+		s.lbUnassigned += nc - s.contrib[bi]
+		s.contrib[bi] = nc
+	}
+}
+
+// setBits/clearBits set or clear bit range [lo, hi] of a word array.
+func setBits(ws []uint64, lo, hi int) {
+	loW, hiW := lo>>6, hi>>6
+	for w := loW; w <= hiW; w++ {
+		mask := ^uint64(0)
+		if w == loW {
+			mask &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if w == hiW {
+			mask &= ^uint64(0) >> (63 - uint(hi)&63)
+		}
+		ws[w] |= mask
+	}
+}
+
+func clearBits(ws []uint64, lo, hi int) {
+	loW, hiW := lo>>6, hi>>6
+	for w := loW; w <= hiW; w++ {
+		mask := ^uint64(0)
+		if w == loW {
+			mask &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if w == hiW {
+			mask &= ^uint64(0) >> (63 - uint(hi)&63)
+		}
+		ws[w] &^= mask
+	}
+}
+
+// setSat/clearSat mark or unmark bucket bk's slots in a saturation
+// bitset when usage crosses the Cap-minWeight threshold.
+func (s *state) setSat(sat []uint64, bk, width int) {
+	if width < 1 {
+		width = 1
+	}
+	lo := bk * width
+	hi := lo + width - 1
+	if hi > s.m.NumSlots-1 {
+		hi = s.m.NumSlots - 1
+	}
+	if lo <= hi {
+		setBits(sat, lo, hi)
+	}
+}
+
+func (s *state) clearSat(sat []uint64, bk, width int) {
+	if width < 1 {
+		width = 1
+	}
+	lo := bk * width
+	hi := lo + width - 1
+	if hi > s.m.NumSlots-1 {
+		hi = s.m.NumSlots - 1
+	}
+	if lo <= hi {
+		clearBits(sat, lo, hi)
+	}
+}
+
+// buildScratch assembles the per-node candidate mask for block b: its
+// slot domain, minus starts occupying a saturated capacity slot (sets
+// too wide for per-member forward-checking), minus starts whose merged
+// localize interval would strictly interleave another group's. The mask
+// stays valid across the whole value loop because every recursion
+// restores state exactly; rows are per-depth so recursion cannot clobber
+// the caller's mask.
+func (s *state) buildScratch(bi int, b *block, depth int) []uint64 {
+	W := s.domWords
+	scratch := s.scratchBuf[depth*W : (depth+1)*W]
+	if W == 1 {
+		// Single-word fast path (NumSlots <= 64): the whole mask lives
+		// in a register until the final store.
+		sc := s.dom[bi]
+		for ci := range b.capUse {
+			cu := &b.capUse[ci]
+			if sat := s.satMask[cu.flat]; sat != nil {
+				for k := 0; k < b.duration; k++ {
+					sc &^= sat[0] >> uint(k)
+				}
+			}
+		}
+		for _, lg := range b.locGroups {
+			li, grp := lg[0], lg[1]
+			loRow, hiRow, hasRow := s.locLo[li], s.locHi[li], s.locHas[li]
+			ownHas := hasRow[grp]
+			lo, hi := loRow[grp], hiRow[grp]
+			for other := range hasRow {
+				if other == grp || !hasRow[other] {
+					continue
+				}
+				oLo, oHi := loRow[other], hiRow[other]
+				var flo, fhi int
+				switch {
+				case !ownHas || (lo >= oHi && oLo >= hi):
+					flo, fhi = oLo-b.duration+2, oHi-1
+				case lo >= oHi:
+					flo, fhi = 0, oHi-1
+				default:
+					flo, fhi = oLo-b.duration+2, s.m.NumSlots-1
+				}
+				if flo < 0 {
+					flo = 0
+				}
+				if fhi > s.m.NumSlots-1 {
+					fhi = s.m.NumSlots - 1
+				}
+				if flo <= fhi {
+					sc &^= (^uint64(0) << uint(flo)) & (^uint64(0) >> uint(63-fhi))
+				}
+			}
+		}
+		scratch[0] = sc
+		return scratch
+	}
+	copy(scratch, s.dom[bi*W:(bi+1)*W])
+	for ci := range b.capUse {
+		cu := &b.capUse[ci]
+		sat := s.satMask[cu.flat]
+		if sat == nil {
+			continue
+		}
+		// Start t is dead when any occupied slot t+k is saturated:
+		// subtract every right-shift of the saturation mask.
+		for k := 0; k < b.duration; k++ {
+			wo, bo := k>>6, uint(k)&63
+			for w := 0; w+wo < W; w++ {
+				v := sat[w+wo] >> bo
+				if bo != 0 && w+wo+1 < W {
+					v |= sat[w+wo+1] << (64 - bo)
+				}
+				scratch[w] &^= v
+			}
+		}
+	}
+	// Localize interleaving, exactly mirroring the old per-candidate
+	// check: with own interval [lo,hi] and another group's [oLo,oHi],
+	// the merged interval [min(t,lo), max(t+d-1,hi)] must not strictly
+	// overlap [oLo,oHi]. Per other group that forbids one start range.
+	for _, lg := range b.locGroups {
+		li, grp := lg[0], lg[1]
+		loRow, hiRow, hasRow := s.locLo[li], s.locHi[li], s.locHas[li]
+		ownHas := hasRow[grp]
+		lo, hi := loRow[grp], hiRow[grp]
+		for other := range hasRow {
+			if other == grp || !hasRow[other] {
+				continue
+			}
+			oLo, oHi := loRow[other], hiRow[other]
+			var flo, fhi int
+			switch {
+			case !ownHas || (lo >= oHi && oLo >= hi):
+				// No own interval (or a degenerate touch on both
+				// sides): only starts straddling the other interval
+				// interleave.
+				flo, fhi = oLo-b.duration+2, oHi-1
+			case lo >= oHi:
+				// Other entirely left: any start below its high end
+				// would stretch our interval across it.
+				flo, fhi = 0, oHi-1
+			default:
+				// Other entirely right (guaranteed by the placement
+				// invariant): any start ending past its low end
+				// interleaves.
+				flo, fhi = oLo-b.duration+2, s.m.NumSlots-1
+			}
+			if flo < 0 {
+				flo = 0
+			}
+			if fhi > s.m.NumSlots-1 {
+				fhi = s.m.NumSlots - 1
+			}
+			if flo <= fhi {
+				clearBits(scratch, flo, fhi)
+			}
+		}
+	}
+	return scratch
+}
+
+// selectBlock picks the next decision block: the unassigned block with
+// the smallest live domain within a bounded window of the static order
+// (fail-first), falling back to the static most-constrained order on ties
+// so the search stays deterministic.
+func (s *state) selectBlock() int {
+	sent := int32(len(s.order))
+	best := s.unNext[sent]
+	if !s.fcActive {
+		// Domains never shrink without per-member forward-checking, so
+		// the static order (sorted by initial domain size) already is
+		// the fail-first order; the scan would pick the head anyway.
+		return s.order[best]
+	}
+	bestCount := s.domCount[s.order[best]]
+	if bestCount > 1 {
+		seen := 1
+		for pos := s.unNext[best]; pos != sent && seen < failFirstWindow; pos = s.unNext[pos] {
+			if c := s.domCount[s.order[pos]]; c < bestCount {
+				best, bestCount = pos, c
+				if c <= 1 {
+					break
+				}
+			}
+			seen++
+		}
+	}
+	return s.order[best]
 }
 
 // flushNodes adds this worker's not-yet-flushed node count to the shared
@@ -908,7 +1535,7 @@ func (s *state) bound() int64 {
 	return s.bestCost
 }
 
-func (s *state) search(pos int) {
+func (s *state) search(depth int) {
 	if s.stopped {
 		return
 	}
@@ -924,7 +1551,7 @@ func (s *state) search(pos int) {
 		s.complete = false
 		return
 	}
-	if pos == len(s.order) {
+	if depth == len(s.order) {
 		if s.cost < s.bound() {
 			if s.shared != nil {
 				s.shared.record(s.cost, s.extractSlots())
@@ -943,30 +1570,42 @@ func (s *state) search(pos int) {
 		}
 		return
 	}
-	if s.cost+s.lowerBoundRemaining(pos) >= s.bound() {
+	if s.deadEnds > 0 {
 		return
 	}
-	bi := s.order[pos]
+	if s.cost+s.lbUnassigned >= s.bound() {
+		return
+	}
+	bi := s.selectBlock()
 	b := &s.blocks[bi]
-	for t := 0; t < s.m.NumSlots; t++ {
+	// lbRest is invariant across the loop: every recursion restores
+	// contrib and lbUnassigned exactly on backtrack.
+	lbRest := s.lbUnassigned - s.contrib[bi]
+	scratch := s.buildScratch(bi, b, depth)
+	for _, t32 := range b.valOrder {
+		t := int(t32)
+		if s.cost+b.costAt[t]+lbRest >= s.bound() {
+			break // valOrder is cost-ascending: no later slot can beat the bound
+		}
+		if scratch[t>>6]&(1<<(uint(t)&63)) == 0 {
+			continue
+		}
 		if !s.feasible(b, t) {
 			continue
 		}
-		u, added := s.place(bi, b, t)
-		s.search(pos + 1)
-		s.unplace(bi, b, t, u, added)
+		mark, added := s.place(bi, b, t)
+		s.search(depth + 1)
+		s.unplace(bi, b, t, mark, added)
 		if s.stopped {
 			return
 		}
 	}
-	if !s.m.RequireAll {
-		// Leave the block unscheduled (leftover).
-		s.assigned[bi] = -1
-		added := int64(s.m.SkipPenalty) * int64(b.weight)
-		s.cost += added
-		s.search(pos + 1)
-		s.cost -= added
-		s.assigned[bi] = -2
+	if !s.m.RequireAll && s.cost+b.skipCost+lbRest < s.bound() {
+		// Leave the block unscheduled (leftover), explored after every
+		// placement branch.
+		s.assignSkip(bi, b)
+		s.search(depth + 1)
+		s.undoSkip(bi, b)
 	}
 }
 
@@ -985,20 +1624,4 @@ func (s *state) extractSlots() []int {
 		}
 	}
 	return slots
-}
-
-func containsSorted(sorted []int, x int) bool {
-	lo, hi := 0, len(sorted)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		switch {
-		case sorted[mid] < x:
-			lo = mid + 1
-		case sorted[mid] > x:
-			hi = mid
-		default:
-			return true
-		}
-	}
-	return false
 }

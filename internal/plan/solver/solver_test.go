@@ -554,3 +554,51 @@ func TestSolveDurationWeeklyBuckets(t *testing.T) {
 		t.Fatal("3-in-week-0 not flagged")
 	}
 }
+
+func TestSolveSkipLeftoverOrdering(t *testing.T) {
+	// RequireAll=false with a slot-starved capacity and one block whose
+	// every start is forbidden (empty bitset domain from the start): the
+	// solver must fill both slots from the contended trio, skip the third
+	// member, and leave the fully-forbidden item over — the fail-first
+	// ordering and skip-aware lower bound must not lose either leftover.
+	build := func() *model.Model {
+		return &model.Model{
+			Name:       "skip-order",
+			Items:      items(4),
+			NumSlots:   2,
+			Capacities: []model.Capacity{{Name: "g", Sets: [][]int{{0, 1, 2}}, Cap: 1}},
+			Forbidden:  [][]int{nil, nil, nil, {0, 1}},
+		}
+	}
+	seq, err := Solve(build(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Optimal {
+		t.Fatal("tiny skip model not solved to optimality")
+	}
+	// Two placements at slots 0 and 1 cost 1+2; the two leftovers pay the
+	// default SkipPenalty 2*(NumSlots+1) = 6 each.
+	if seq.Cost != 1+2+6+6 {
+		t.Fatalf("cost = %d, want 15", seq.Cost)
+	}
+	if seq.Unscheduled != 2 {
+		t.Fatalf("unscheduled = %d, want 2", seq.Unscheduled)
+	}
+	if seq.Slots[3] != -1 {
+		t.Fatalf("fully-forbidden item placed at %d", seq.Slots[3])
+	}
+	par, err := Solve(build(), Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Cost != seq.Cost || par.Optimal != seq.Optimal {
+		t.Fatalf("parallel cost=%d optimal=%v, sequential cost=%d optimal=%v",
+			par.Cost, par.Optimal, seq.Cost, seq.Optimal)
+	}
+	for i := range seq.Slots {
+		if par.Slots[i] != seq.Slots[i] {
+			t.Fatalf("parallel slots %v != sequential %v", par.Slots, seq.Slots)
+		}
+	}
+}
