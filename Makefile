@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check race bench cover check
+.PHONY: all build test vet fmt-check race bench cover check doccheck
 
 all: check
 
@@ -26,6 +26,13 @@ fmt-check:
 race:
 	$(GO) test -race ./internal/plan/... ./internal/orchestrator/... ./internal/obs/...
 
+# Documentation hygiene: formatting, vet, and a go/ast walk asserting that
+# every exported identifier in the execution-facing packages carries a doc
+# comment (tools/doccheck).
+doccheck: vet fmt-check
+	$(GO) run ./tools/doccheck ./internal/orchestrator ./internal/orchestrator/resilience \
+		./internal/workflow ./internal/testbed
+
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -1
@@ -34,4 +41,4 @@ bench:
 	$(GO) test -run '^$$' -bench BenchmarkPlannerScale -benchtime 1x .
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/plan/...
 
-check: build vet fmt-check test race
+check: build vet fmt-check test race doccheck

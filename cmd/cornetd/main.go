@@ -25,6 +25,7 @@ import (
 	"cornet/internal/inventory"
 	"cornet/internal/netgen"
 	"cornet/internal/obs"
+	"cornet/internal/orchestrator/resilience"
 	"cornet/internal/plan/engine"
 	"cornet/internal/testbed"
 	"cornet/internal/workflow"
@@ -73,22 +74,70 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
 		logLevel     = flag.String("log-level", "info", "log level (debug|info|warn|error)")
 		logFormat    = flag.String("log-format", "text", "log format (text|json)")
+
+		// Execution-policy defaults applied to every building block; task
+		// nodes override them via their workflow JSON policy.
+		blockTimeout  = flag.Duration("block-timeout", 0, "per-attempt building-block timeout (0 = none)")
+		blockAttempts = flag.Int("block-attempts", 1, "building-block invocation budget including the first attempt")
+		blockBackoff  = flag.Duration("block-backoff", 100*time.Millisecond, "base backoff between block retries")
+		blockAction   = flag.String("block-action", "", "default failure action when attempts run out (continue|skip|abort|pause|rollback)")
+
+		// Circuit breaker over building-block APIs.
+		breakerThreshold = flag.Int("breaker-threshold", 0, "consecutive failures tripping a block API's circuit breaker (0 = breakers off)")
+		breakerCooldown  = flag.Duration("breaker-cooldown", 30*time.Second, "open-breaker cooldown before half-open probes")
+
+		// Startup fault injection into the simulated testbed (also settable
+		// at run time via POST /api/testbed/faults).
+		faultTarget    = flag.String("fault-target", "*", "NF instance the startup fault spec applies to (\"*\" = all)")
+		faultErrorRate = flag.Float64("fault-error-rate", 0, "probability (0..1) a testbed call fails transiently")
+		faultLatency   = flag.Duration("fault-latency", 0, "fixed latency added to every faulted testbed call")
+		faultJitter    = flag.Duration("fault-latency-jitter", 0, "uniform extra latency added to faulted calls")
+		faultMode      = flag.String("fault-mode", "", "structural fault mode (flap|blackhole; empty = none)")
+		faultFlap      = flag.Int("fault-flap-period", 0, "calls per up/down window in flap mode (0 = 5)")
 	)
 	flag.Parse()
 
 	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel), *logFormat)
 	tb := testbed.New(*seed)
 	ids := testbed.PopulateVNFs(tb, *vnfs)
+	startupFault := testbed.FaultSpec{
+		ErrorRate:       *faultErrorRate,
+		LatencyMS:       int(faultLatency.Milliseconds()),
+		LatencyJitterMS: int(faultJitter.Milliseconds()),
+		Mode:            *faultMode,
+		FlapPeriod:      *faultFlap,
+	}
+	if err := tb.SetFault(*faultTarget, startupFault); err != nil {
+		logger.Error("bad fault flags", "err", err)
+		os.Exit(1)
+	}
 	net, err := netgen.Cellular(netgen.DefaultCellular(200, *seed))
 	if err != nil {
 		logger.Error("netgen failed", "err", err)
 		os.Exit(1)
 	}
+	defaults := resilience.Policy{
+		Timeout:     resilience.Duration(*blockTimeout),
+		MaxAttempts: *blockAttempts,
+		Backoff:     resilience.Backoff{Base: resilience.Duration(*blockBackoff), Jitter: 0.2},
+		OnExhausted: resilience.Action(*blockAction),
+	}
+	if err := defaults.Validate(); err != nil {
+		logger.Error("bad block policy flags", "err", err)
+		os.Exit(1)
+	}
+	opts := []core.Option{core.WithInvoker(tb), core.WithExecutionDefaults(defaults)}
+	if *breakerThreshold > 0 {
+		opts = append(opts, core.WithBreakers(resilience.BreakerConfig{
+			Threshold: *breakerThreshold,
+			Cooldown:  resilience.Duration(*breakerCooldown),
+		}))
+	}
 	f := core.New(map[string]catalog.ImplKind{
 		"vCE": catalog.ImplScript, "vGW": catalog.ImplAnsible, "portal": catalog.ImplAnsible,
 		"CPE": catalog.ImplAnsible, "vCOM": catalog.ImplAnsible, "vRAR": catalog.ImplAnsible,
 		"eNodeB": catalog.ImplVendorCLI, "gNodeB": catalog.ImplVendorCLI,
-	}, core.WithInvoker(tb))
+	}, opts...)
 
 	s := newServer(f, tb, net, *planTimeout, logger)
 	obs.Default.GaugeFunc("cornet_uptime_seconds",

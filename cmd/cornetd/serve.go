@@ -23,8 +23,10 @@ func newMux(s *server) *http.ServeMux {
 	wrap := func(route string, h http.Handler) {
 		mux.Handle(route, s.httpm.Middleware(route, s.log, h))
 	}
-	// Building blocks execute directly against the testbed.
+	// Building blocks execute directly against the testbed; the fault
+	// endpoint configures per-NF injected misbehaviour at run time.
 	wrap("/api/bb/", s.tb.Handler())
+	wrap("/api/testbed/faults", s.tb.Handler())
 	wrap("/healthz", http.HandlerFunc(s.handleHealthz))
 	wrap("/api/catalog", http.HandlerFunc(s.handleCatalog))
 	wrap("/api/wf/deploy", http.HandlerFunc(s.handleDeploy))

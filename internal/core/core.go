@@ -16,6 +16,7 @@ import (
 	"cornet/internal/inventory"
 	"cornet/internal/obs"
 	"cornet/internal/orchestrator"
+	"cornet/internal/orchestrator/resilience"
 	"cornet/internal/plan/engine"
 	"cornet/internal/plan/heuristic"
 	"cornet/internal/plan/intent"
@@ -54,6 +55,28 @@ type Option func(*Framework)
 // WithInvoker sets the building-block invoker (testbed, HTTP, or fake).
 func WithInvoker(inv orchestrator.Invoker) Option {
 	return func(f *Framework) { f.Engine = orchestrator.NewEngine(inv) }
+}
+
+// WithExecutionDefaults sets the engine-wide block execution policy
+// (per-attempt timeout, retry budget, backoff, failure action); task nodes
+// overlay it with their own Policy. Must follow WithInvoker.
+func WithExecutionDefaults(p resilience.Policy) Option {
+	return func(f *Framework) {
+		if f.Engine != nil {
+			f.Engine.Defaults = p
+		}
+	}
+}
+
+// WithBreakers enables per-API circuit breakers on the orchestrator engine
+// with the given configuration (zero value: defaults). Must follow
+// WithInvoker.
+func WithBreakers(cfg resilience.BreakerConfig) Option {
+	return func(f *Framework) {
+		if f.Engine != nil {
+			f.Engine.EnableBreakers(cfg)
+		}
+	}
 }
 
 // WithScaleThreshold overrides the solver/heuristic switch point.

@@ -100,9 +100,12 @@ func (d *Dispatcher) Run(ctx context.Context, dep DeploymentResolver, changes []
 						inputs[k] = v
 					}
 					res.Exec, res.Err = d.Engine.Execute(slotCtx, deployment, inputs)
-					if res.Err != nil {
+					switch {
+					case res.Exec != nil && res.Exec.Status == StatusRolledBack:
+						metricDispatched.With("rolledback").Inc()
+					case res.Err != nil:
 						metricDispatched.With("failure").Inc()
-					} else {
+					default:
 						metricDispatched.With("success").Inc()
 					}
 				}

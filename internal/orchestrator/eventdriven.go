@@ -15,6 +15,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"cornet/internal/orchestrator/resilience"
 )
 
 // Event is a message on the policy bus.
@@ -44,6 +46,12 @@ type Policy struct {
 	// "success" and "failure" (invocation error), plus output-value
 	// matches of the form "verdict=degradation".
 	Emit map[string]string
+	// Retry optionally declares an execution policy for the block
+	// invocation (timeout, attempts, backoff); it overlays the engine's
+	// Defaults. Failure actions do not apply here — exhaustion emits the
+	// "failure" topic, which is the event-driven model's only recourse
+	// (one of the state-management limits the paper calls out).
+	Retry *resilience.Policy
 }
 
 // EventEngine runs policies to quiescence for one change.
@@ -52,12 +60,27 @@ type EventEngine struct {
 	policies []Policy
 	// MaxEvents guards against policy loops.
 	MaxEvents int
-	Clock     func() time.Time
+	// Clock abstracts time for tests; defaults to time.Now.
+	Clock func() time.Time
+	// Defaults is the engine-wide execution policy for block invocations;
+	// a policy's own Retry field overlays it.
+	Defaults resilience.Policy
+	// Breakers optionally gates invocations through per-API circuit
+	// breakers, shared with the workflow engine when both run against
+	// the same endpoints.
+	Breakers *resilience.BreakerSet
+	// Sleep waits between retry attempts (tests inject a fake).
+	Sleep func(context.Context, time.Duration) error
+
+	jitter *jitterRand
 }
 
 // NewEventEngine builds an engine over an invoker and policy set.
 func NewEventEngine(inv Invoker, policies []Policy) *EventEngine {
-	return &EventEngine{invoker: inv, policies: policies, MaxEvents: 1000, Clock: time.Now}
+	return &EventEngine{
+		invoker: inv, policies: policies, MaxEvents: 1000, Clock: time.Now,
+		Sleep: ctxSleep, jitter: newJitterRand(1),
+	}
 }
 
 // EventTrace records one policy firing.
@@ -69,6 +92,9 @@ type EventTrace struct {
 	Err      string
 	Emitted  string
 	Duration time.Duration
+	// Attempts counts invocations made under the policy's retry budget
+	// (0 for pure routing policies and breaker-rejected calls).
+	Attempts int
 }
 
 // EventExecution is the outcome of one event-driven change.
@@ -148,7 +174,14 @@ func (e *EventEngine) fire(ctx context.Context, p Policy, exec *EventExecution) 
 				args[name] = strings.TrimPrefix(binding, "=")
 			}
 		}
-		outputs, err = e.invoker.Invoke(ctx, p.Block, args)
+		pi := policyInvoker{
+			inv: e.invoker, breakers: e.Breakers,
+			delay: e.jitter.delay, sleep: e.sleepFn(),
+			onRetry: func(int, time.Duration, error) {
+				metricBBRetries.With(p.Block).Inc()
+			},
+		}
+		outputs, tr.Attempts, err = pi.do(ctx, p.Block, args, p.Retry.Merge(e.Defaults))
 	}
 	tr.Duration = e.Clock().Sub(start)
 	if err != nil {
@@ -177,6 +210,15 @@ func (e *EventEngine) fire(ctx context.Context, p Policy, exec *EventExecution) 
 	}
 	tr.Emitted = p.Emit["success"]
 	return tr.Emitted, tr
+}
+
+// sleepFn returns the engine's inter-attempt wait, defaulting to a
+// context-aware timer sleep.
+func (e *EventEngine) sleepFn() func(context.Context, time.Duration) error {
+	if e.Sleep != nil {
+		return e.Sleep
+	}
+	return ctxSleep
 }
 
 // UpgradePolicies expresses the Fig. 4 software-upgrade flow as an

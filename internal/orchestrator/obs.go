@@ -24,6 +24,14 @@ var (
 		"Roll-back building blocks executed (the paper's rollback decisions).")
 	metricDispatched = obs.Default.CounterVec("cornet_dispatch_changes_total",
 		"Scheduled changes dispatched, by result.", "result")
+	metricBBRetries = obs.Default.CounterVec("cornet_bb_retries_total",
+		"Building-block invocation retries scheduled, by block.", "block")
+	metricWfFailureActions = obs.Default.CounterVec("cornet_wf_failure_actions_total",
+		"Failure actions applied after a block exhausted its attempts, by block and action.", "block", "action")
+	metricBreakerTrips = obs.Default.CounterVec("cornet_breaker_trips_total",
+		"Circuit breakers tripped open, by building-block API.", "api")
+	metricBreakerTransitions = obs.Default.CounterVec("cornet_breaker_transitions_total",
+		"Circuit breaker state transitions, by target state.", "state")
 )
 
 // logger returns the engine's structured logger, defaulting to a silent

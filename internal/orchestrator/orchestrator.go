@@ -6,6 +6,12 @@
 // execution as atomic, and supports pause/resume so operations teams can
 // halt an automated execution on unexpected alarms and continue after
 // troubleshooting.
+//
+// Block invocations run under execution policies (per-attempt timeouts,
+// retries with jittered backoff, circuit breakers, and failure actions —
+// see the resilience subpackage and DESIGN.md §9), so workflows survive
+// the transient production failures §5.1 describes without operator
+// babysitting, and back out cleanly when an endpoint is truly dead.
 package orchestrator
 
 import (
@@ -19,6 +25,7 @@ import (
 
 	"cornet/internal/catalog"
 	"cornet/internal/obs"
+	"cornet/internal/orchestrator/resilience"
 	"cornet/internal/workflow"
 )
 
@@ -40,12 +47,16 @@ func (f InvokerFunc) Invoke(ctx context.Context, api string, args map[string]str
 // Status of a block execution or a whole workflow execution.
 type Status string
 
+// Terminal and in-flight statuses shared by block logs and executions.
+// StatusRolledBack marks an execution terminated by a rollback failure
+// action: the change did not apply, but the block's compensation ran.
 const (
-	StatusSuccess Status = "success"
-	StatusFailure Status = "failure"
-	StatusSkipped Status = "skipped"
-	StatusRunning Status = "running"
-	StatusPaused  Status = "paused"
+	StatusSuccess    Status = "success"
+	StatusFailure    Status = "failure"
+	StatusSkipped    Status = "skipped"
+	StatusRunning    Status = "running"
+	StatusPaused     Status = "paused"
+	StatusRolledBack Status = "rolledback"
 )
 
 // BlockLog is the per-building-block execution record: the fine-grained
@@ -58,6 +69,13 @@ type BlockLog struct {
 	Err      string
 	Started  time.Time
 	Duration time.Duration
+	// Attempts counts the invocations made under the block's execution
+	// policy: 1 for a clean first try, more after retries, 0 when the
+	// circuit breaker rejected the call before any attempt.
+	Attempts int
+	// Action records the failure action applied when the block exhausted
+	// its attempts ("" when the block succeeded or none was needed).
+	Action resilience.Action
 }
 
 // Execution is the record of one workflow run against one instance.
@@ -72,9 +90,26 @@ type Execution struct {
 	Logs     []BlockLog
 	State    map[string]string // final global state
 
-	pauseReq  chan struct{}
-	resumeReq chan struct{}
-	paused    bool
+	pauseReq   chan struct{}
+	resumeReq  chan struct{}
+	paused     bool
+	lastAction resilience.Action
+}
+
+// setLastAction records the most recent failure action applied.
+func (e *Execution) setLastAction(a resilience.Action) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.lastAction = a
+}
+
+// LastAction reports the most recent failure action a block policy applied
+// during this execution ("" when every block succeeded first try or only
+// retries were needed).
+func (e *Execution) LastAction() resilience.Action {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastAction
 }
 
 // Pause requests a halt after the currently executing building block
@@ -150,11 +185,57 @@ type Engine struct {
 	// (the paper's fine-grained execution logging). nil stays silent;
 	// cmd/cornetd injects its server logger here.
 	Log *slog.Logger
+	// Defaults is the engine-wide execution policy applied to every task
+	// node; a node's own Policy overlays it field by field. The zero
+	// value preserves the historical semantics (one attempt, no timeout,
+	// continue on failure).
+	Defaults resilience.Policy
+	// Breakers, when non-nil, gates every building-block invocation
+	// through a per-API circuit breaker shared across executions. Use
+	// EnableBreakers to get trip/close metrics and logs wired up.
+	Breakers *resilience.BreakerSet
+	// Sleep waits between retry attempts; tests inject a fake to make
+	// backoff instantaneous. Defaults to a context-aware timer sleep.
+	Sleep func(context.Context, time.Duration) error
+
+	jitter *jitterRand
 }
 
-// NewEngine returns an engine dispatching through the given invoker.
+// NewEngine returns an engine dispatching through the given invoker. The
+// backoff jitter source is seeded deterministically; use SeedJitter to
+// vary it.
 func NewEngine(inv Invoker) *Engine {
-	return &Engine{invoker: inv, Clock: time.Now, MaxSteps: 10_000}
+	return &Engine{
+		invoker:  inv,
+		Clock:    time.Now,
+		MaxSteps: 10_000,
+		Sleep:    ctxSleep,
+		jitter:   newJitterRand(1),
+	}
+}
+
+// SeedJitter reseeds the backoff jitter source, making the engine's retry
+// schedule reproducible for a given seed. Not safe to call concurrently
+// with running executions.
+func (eng *Engine) SeedJitter(seed int64) {
+	eng.jitter = newJitterRand(seed)
+}
+
+// EnableBreakers installs a circuit-breaker set with the given config and
+// wires its state transitions into the engine's metrics and logs. It
+// returns the set so callers can inspect or reset breakers at run time.
+func (eng *Engine) EnableBreakers(cfg resilience.BreakerConfig) *resilience.BreakerSet {
+	set := resilience.NewBreakerSet(cfg)
+	set.OnTransition = func(api string, from, to resilience.State) {
+		metricBreakerTransitions.With(string(to)).Inc()
+		if to == resilience.Open {
+			metricBreakerTrips.With(api).Inc()
+		}
+		eng.logger().LogAttrs(context.Background(), slog.LevelWarn, "circuit breaker transition",
+			slog.String("api", api), slog.String("from", string(from)), slog.String("to", string(to)))
+	}
+	eng.Breakers = set
+	return set
 }
 
 // ErrHalted is returned when the context is cancelled mid-execution.
@@ -171,8 +252,11 @@ func (eng *Engine) Execute(ctx context.Context, dep *workflow.Deployment, inputs
 		return exec, errors.New(exec.Err)
 	}
 	run(ctx)
-	if exec.Status == StatusFailure {
+	switch exec.Status {
+	case StatusFailure:
 		return exec, fmt.Errorf("orchestrator: workflow %s on %s failed: %s", exec.Workflow, exec.Instance, exec.Err)
+	case StatusRolledBack:
+		return exec, fmt.Errorf("orchestrator: workflow %s on %s rolled back: %s", exec.Workflow, exec.Instance, exec.Err)
 	}
 	return exec, nil
 }
@@ -229,13 +313,13 @@ func (eng *Engine) run(ctx context.Context, dep *workflow.Deployment, exec *Exec
 	defer func() {
 		st, errMsg := exec.snapshotStatus()
 		wsp.SetAttr("status", string(st))
-		if st == StatusFailure {
+		if st == StatusFailure || st == StatusRolledBack {
 			wsp.Fail(errors.New(errMsg))
 		}
 		wsp.End()
 		metricWfExecutions.With(exec.Workflow, string(st)).Inc()
 		lvl := slog.LevelInfo
-		if st == StatusFailure {
+		if st == StatusFailure || st == StatusRolledBack {
 			lvl = slog.LevelWarn
 		}
 		log.LogAttrs(ctx, lvl, "workflow finished",
@@ -328,35 +412,119 @@ func (eng *Engine) run(ctx context.Context, dep *workflow.Deployment, exec *Exec
 	}
 }
 
-// runTask invokes one building block atomically; returns false if the
-// workflow must stop (invocation infrastructure failure). Block-level
-// failures (status=failure output) do NOT abort the workflow: decision
-// nodes route around them, mirroring Fig. 4.
-func (eng *Engine) runTask(ctx context.Context, dep *workflow.Deployment, exec *Execution, node *workflow.Node) bool {
-	api := dep.BlockAPIs[node.Block]
+// blockArgs materializes the invocation arguments for a task: the full
+// execution state is propagated by default, explicit Args bindings
+// (literals "=v" or state references "$var") override.
+func (eng *Engine) blockArgs(exec *Execution, node *workflow.Node) map[string]string {
 	args := map[string]string{}
-	// Default propagation: expose the full state; explicit Args override.
 	exec.mu.Lock()
+	defer exec.mu.Unlock()
 	for k, v := range exec.State {
 		args[k] = v
 	}
-	exec.mu.Unlock()
 	for name, binding := range node.Args {
 		if strings.HasPrefix(binding, "$") {
-			exec.mu.Lock()
 			args[name] = exec.State[binding[1:]]
-			exec.mu.Unlock()
 		} else {
 			args[name] = strings.TrimPrefix(binding, "=")
 		}
 	}
+	return args
+}
 
+// runTask invokes one building block atomically under its execution policy
+// (node policy overlaid on the engine defaults); returns false if the
+// workflow must stop. Transient invocation errors are retried with backoff
+// inside the block's atomic boundary; once the attempt budget is exhausted
+// the policy's failure action decides what happens:
+//
+//   - continue (default): record the failure in state and let decision
+//     nodes route around it, mirroring Fig. 4;
+//   - skip: mark the block skipped and proceed;
+//   - abort: fail the whole execution;
+//   - pause: park the execution for an operator, re-run the block with a
+//     fresh budget on resume;
+//   - rollback: invoke the block's compensation API and terminate the
+//     execution in the rolled-back state.
+func (eng *Engine) runTask(ctx context.Context, dep *workflow.Deployment, exec *Execution, node *workflow.Node) bool {
+	api := dep.BlockAPIs[node.Block]
+	pol := node.Policy.Merge(eng.Defaults)
+	for {
+		err := eng.invokeBlock(ctx, exec, node, api, pol)
+		if err == nil {
+			return true
+		}
+		if ctx.Err() != nil {
+			// Infrastructure-level cancellation aborts outright.
+			eng.finish(exec, StatusFailure, ctx.Err().Error())
+			return false
+		}
+		action := pol.OnExhausted
+		if action == "" {
+			action = resilience.ActionContinue
+		}
+		metricWfFailureActions.With(node.Block, string(action)).Inc()
+		obs.FromContext(ctx).Event("failure-action",
+			"node", node.ID, "action", string(action), "err", err.Error())
+		eng.logger().LogAttrs(ctx, slog.LevelWarn, "block failure action",
+			slog.String("workflow", exec.Workflow), slog.String("node", node.ID),
+			slog.String("action", string(action)), slog.String("err", err.Error()))
+		exec.setLastAction(action)
+		switch action {
+		case resilience.ActionContinue:
+			// Record the failure in state so decision nodes can branch on
+			// it; if no decision consumes it the workflow proceeds, per
+			// "at least one start-to-end flow" (§3.4).
+			eng.markSaves(exec, node, "failure")
+			return true
+		case resilience.ActionSkip:
+			eng.markSaves(exec, node, "skipped")
+			return true
+		case resilience.ActionAbort:
+			eng.finish(exec, StatusFailure, fmt.Sprintf("block %s aborted workflow: %v", node.ID, err))
+			return false
+		case resilience.ActionPause:
+			if !eng.pauseForOperator(ctx, exec, node, err) {
+				return false
+			}
+			continue // resumed: re-run the block with a fresh budget
+		case resilience.ActionRollback:
+			eng.compensate(ctx, dep, exec, node)
+			eng.finish(exec, StatusRolledBack, fmt.Sprintf("block %s failed and rolled back: %v", node.ID, err))
+			return false
+		default:
+			eng.finish(exec, StatusFailure, fmt.Sprintf("block %s: unknown failure action %q", node.ID, action))
+			return false
+		}
+	}
+}
+
+// invokeBlock performs one policy-governed invocation cycle of a task
+// (first attempt plus retries), recording the span, block log, metrics,
+// and — on success — the saved outputs. It returns the final error when
+// the cycle exhausted its attempts.
+func (eng *Engine) invokeBlock(ctx context.Context, exec *Execution, node *workflow.Node, api string, pol resilience.Policy) error {
+	args := eng.blockArgs(exec, node)
 	bctx, bsp := obs.StartSpan(ctx, "bb."+node.Block)
 	bsp.SetAttr("node", node.ID)
 	bsp.SetAttr("block", node.Block)
 	bsp.SetAttr("api", api)
 	start := eng.Clock()
-	outputs, err := eng.invoker.Invoke(bctx, api, args)
+	pi := policyInvoker{
+		inv:      eng.invoker,
+		breakers: eng.Breakers,
+		delay:    eng.jitter.delay,
+		sleep:    eng.sleep(),
+		onRetry: func(attempt int, delay time.Duration, err error) {
+			metricBBRetries.With(node.Block).Inc()
+			bsp.Event("retry", "attempt", attempt, "delay", delay.String(), "err", err.Error())
+			eng.logger().LogAttrs(ctx, slog.LevelWarn, "block retry scheduled",
+				slog.String("workflow", exec.Workflow), slog.String("node", node.ID),
+				slog.String("block", node.Block), slog.Int("attempt", attempt),
+				slog.Duration("backoff", delay), slog.String("err", err.Error()))
+		},
+	}
+	outputs, attempts, err := pi.do(bctx, api, args, pol)
 	entry := BlockLog{
 		NodeID:   node.ID,
 		Block:    node.Block,
@@ -364,17 +532,23 @@ func (eng *Engine) runTask(ctx context.Context, dep *workflow.Deployment, exec *
 		Started:  start,
 		Duration: eng.Clock().Sub(start),
 		Status:   StatusSuccess,
+		Attempts: attempts,
 	}
 	if err != nil {
 		entry.Status = StatusFailure
 		entry.Err = err.Error()
+		entry.Action = pol.OnExhausted
+		if errors.Is(err, resilience.ErrBreakerOpen) {
+			bsp.Event("breaker-open", "api", api)
+		}
 	}
 	bsp.SetAttr("status", string(entry.Status))
+	bsp.SetAttr("attempts", attempts)
 	bsp.Fail(err)
 	bsp.End()
 	metricBBInvocations.With(node.Block, string(entry.Status)).Inc()
 	metricBBDuration.With(node.Block).Observe(entry.Duration.Seconds())
-	if node.Block == catalog.BBRollback {
+	if node.Block == catalog.BBRollback && err == nil {
 		obs.FromContext(ctx).SetAttr("rollback", true)
 		metricWfRollbacks.Inc()
 	}
@@ -385,37 +559,145 @@ func (eng *Engine) runTask(ctx context.Context, dep *workflow.Deployment, exec *
 	eng.logger().LogAttrs(ctx, lvl, "block executed",
 		slog.String("workflow", exec.Workflow), slog.String("node", node.ID),
 		slog.String("block", node.Block), slog.String("status", string(entry.Status)),
+		slog.Int("attempts", attempts),
 		slog.Duration("duration", entry.Duration), slog.String("err", entry.Err))
 	exec.mu.Lock()
 	exec.Logs = append(exec.Logs, entry)
-	if err != nil {
-		// Record the failure in state so decision nodes can branch on it,
-		// then let the graph decide; if no decision consumes it, the
-		// workflow proceeds and overall status stays success per "at least
-		// one start-to-end flow" (§3.4). Infrastructure-level context
-		// cancellation aborts outright.
+	if err == nil {
 		for out, v := range node.Saves {
-			_ = out
-			exec.State[v] = "failure"
-		}
-		exec.mu.Unlock()
-		if ctx.Err() != nil {
-			exec.mu.Lock()
-			exec.Status = StatusFailure
-			exec.Err = ctx.Err().Error()
-			exec.Finished = eng.Clock()
-			exec.mu.Unlock()
-			return false
-		}
-		return true
-	}
-	for out, v := range node.Saves {
-		if val, ok := outputs[out]; ok {
-			exec.State[v] = val
+			if val, ok := outputs[out]; ok {
+				exec.State[v] = val
+			}
 		}
 	}
 	exec.mu.Unlock()
-	return true
+	return err
+}
+
+// markSaves writes a sentinel value into every state variable the node
+// would have saved, so downstream decisions can branch on the outcome.
+func (eng *Engine) markSaves(exec *Execution, node *workflow.Node, sentinel string) {
+	exec.mu.Lock()
+	defer exec.mu.Unlock()
+	for _, v := range node.Saves {
+		exec.State[v] = sentinel
+	}
+}
+
+// finish stamps a terminal status on the execution.
+func (eng *Engine) finish(exec *Execution, st Status, errMsg string) {
+	exec.mu.Lock()
+	defer exec.mu.Unlock()
+	exec.Status = st
+	exec.Err = errMsg
+	exec.Finished = eng.Clock()
+}
+
+// pauseForOperator parks a failing block's execution in the paused state
+// (the paper's troubleshoot-then-continue loop) until Resume or context
+// cancellation. It returns true when the execution was resumed and the
+// block should be re-attempted.
+func (eng *Engine) pauseForOperator(ctx context.Context, exec *Execution, node *workflow.Node, cause error) bool {
+	exec.mu.Lock()
+	exec.Status = StatusPaused
+	exec.paused = true
+	exec.Err = fmt.Sprintf("paused at block %s: %v", node.ID, cause)
+	exec.mu.Unlock()
+	obs.FromContext(ctx).Event("paused", "at", node.ID, "err", cause.Error())
+	metricWfPauses.Inc()
+	eng.logger().LogAttrs(ctx, slog.LevelWarn, "workflow paused on block failure",
+		slog.String("workflow", exec.Workflow), slog.String("node", node.ID),
+		slog.String("err", cause.Error()))
+	select {
+	case <-exec.resumeReq:
+		exec.mu.Lock()
+		exec.Status = StatusRunning
+		exec.paused = false
+		exec.Err = ""
+		exec.mu.Unlock()
+		obs.FromContext(ctx).Event("resumed", "at", node.ID)
+		metricWfResumes.Inc()
+		eng.logger().LogAttrs(ctx, slog.LevelInfo, "workflow resumed, re-running block",
+			slog.String("workflow", exec.Workflow), slog.String("node", node.ID))
+		return true
+	case <-ctx.Done():
+		eng.finish(exec, StatusFailure, fmt.Sprintf("%v while paused at %s", ErrHalted, node.ID))
+		return false
+	}
+}
+
+// compensate invokes the failing block's compensation building block (the
+// node's Compensate, defaulting to the catalog roll-back block) — the
+// paper's rollback decision executed automatically. Compensation runs
+// without retries but with the engine's default timeout, and its outcome
+// is recorded as a block log like any other invocation.
+func (eng *Engine) compensate(ctx context.Context, dep *workflow.Deployment, exec *Execution, node *workflow.Node) {
+	comp := node.Compensate
+	if comp == "" {
+		comp = catalog.BBRollback
+	}
+	api, ok := dep.BlockAPIs[comp]
+	if !ok {
+		api = comp // bare block name: direct runners accept it
+	}
+	args := eng.blockArgs(exec, node)
+	cctx, csp := obs.StartSpan(ctx, "bb."+comp)
+	csp.SetAttr("node", node.ID)
+	csp.SetAttr("block", comp)
+	csp.SetAttr("compensation", true)
+	// The compensation runs against the same possibly-degraded NF that just
+	// exhausted its retry budget, so it inherits the block's per-attempt
+	// timeout; without it a blackholed NF would hang the rollback forever.
+	if to := node.Policy.Merge(eng.Defaults).Timeout.Std(); to > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(cctx, to)
+		defer cancel()
+	}
+	start := eng.Clock()
+	outputs, err := eng.invoker.Invoke(cctx, api, args)
+	entry := BlockLog{
+		NodeID:   node.ID,
+		Block:    comp,
+		API:      api,
+		Started:  start,
+		Duration: eng.Clock().Sub(start),
+		Status:   StatusSuccess,
+		Attempts: 1,
+		Action:   resilience.ActionRollback,
+	}
+	if err != nil {
+		entry.Status = StatusFailure
+		entry.Err = err.Error()
+	} else if outputs["status"] == "failure" {
+		entry.Err = "compensation reported failure: " + outputs["detail"]
+	}
+	csp.SetAttr("status", string(entry.Status))
+	csp.Fail(err)
+	csp.End()
+	metricBBInvocations.With(comp, string(entry.Status)).Inc()
+	metricBBDuration.With(comp).Observe(entry.Duration.Seconds())
+	obs.FromContext(ctx).SetAttr("rollback", true)
+	metricWfRollbacks.Inc()
+	lvl := slog.LevelInfo
+	if err != nil {
+		lvl = slog.LevelWarn
+	}
+	eng.logger().LogAttrs(ctx, lvl, "compensation executed",
+		slog.String("workflow", exec.Workflow), slog.String("node", node.ID),
+		slog.String("block", comp), slog.String("status", string(entry.Status)),
+		slog.String("err", entry.Err))
+	exec.mu.Lock()
+	exec.Logs = append(exec.Logs, entry)
+	exec.mu.Unlock()
+}
+
+// sleep returns the engine's inter-attempt wait, defaulting to a
+// context-aware timer sleep.
+func (eng *Engine) sleep() func(context.Context, time.Duration) error {
+	if eng.Sleep != nil {
+		return eng.Sleep
+	}
+	return ctxSleep
 }
 
 func nodeByID(w *workflow.Workflow, id string) (*workflow.Node, bool) {

@@ -1,0 +1,282 @@
+// Package resilience defines the per-building-block execution policies the
+// orchestrator applies when blocks misbehave: per-attempt timeouts, bounded
+// retries with exponential backoff and deterministic seeded jitter,
+// retryable-error classification, failure actions (continue, abort, skip,
+// pause, rollback), and a per-API circuit breaker.
+//
+// The paper's orchestrator (Section 3.4) earns operator trust by treating
+// each building-block execution as atomic and by supporting pause/resume
+// and rollback decisions when a block misbehaves. This package expresses
+// those decisions as data: a Policy is declared on a workflow task node (or
+// as an engine-wide default) and ships inside the deployment artifact, the
+// same way the paper's Camunda configuration deploys inside the generated
+// WAR file. The orchestrator consults the policy on every invocation
+// failure; nothing here imports the workflow or orchestrator packages, so
+// policies are also usable by the event-driven engine and by tests in
+// isolation.
+package resilience
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Action is the decision taken when a block's retry budget is exhausted —
+// the policy counterpart of the paper's operator-made rollback decisions.
+type Action string
+
+// Failure actions, in rough order of severity. The zero value ("") means
+// ActionContinue.
+const (
+	// ActionContinue records the failure in workflow state and lets the
+	// graph decide: decision nodes downstream route around the failed
+	// block. This is the engine's historical behaviour and the default.
+	ActionContinue Action = "continue"
+	// ActionSkip marks the block skipped and proceeds along the normal
+	// edge as if it had not been part of the flow.
+	ActionSkip Action = "skip"
+	// ActionAbort fails the whole workflow execution immediately.
+	ActionAbort Action = "abort"
+	// ActionPause surfaces the failure to an operator: the execution
+	// parks in the paused state at the failing block and, when resumed,
+	// re-runs the block with a fresh attempt budget (the paper's
+	// troubleshoot-then-continue loop).
+	ActionPause Action = "pause"
+	// ActionRollback invokes the block's compensation API (the node's
+	// Compensate block, defaulting to the catalog roll-back block) and
+	// then terminates the workflow in the rolled-back state.
+	ActionRollback Action = "rollback"
+)
+
+// Valid reports whether a is a known failure action (including the empty
+// default).
+func (a Action) Valid() bool {
+	switch a {
+	case "", ActionContinue, ActionSkip, ActionAbort, ActionPause, ActionRollback:
+		return true
+	}
+	return false
+}
+
+// Duration is a time.Duration that marshals to and from JSON as a Go
+// duration string ("250ms", "1.5s"), so policies stay readable inside
+// workflow JSON and deployment artifacts.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts either a duration string or a number of
+// nanoseconds (the raw time.Duration encoding).
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("resilience: bad duration %q: %w", s, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("resilience: duration must be a string or nanosecond count: %s", data)
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Std converts to a time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// Backoff shapes the delay between retry attempts: exponential growth from
+// Base by Multiplier, capped at Max, with a uniform jitter fraction drawn
+// from a caller-supplied (seeded) random source so schedules are
+// reproducible.
+type Backoff struct {
+	// Base is the delay before the first retry. Zero disables waiting.
+	Base Duration `json:"base,omitempty"`
+	// Max caps the grown delay. Zero means no cap.
+	Max Duration `json:"max,omitempty"`
+	// Multiplier grows the delay per attempt; values below 1 (including
+	// the zero value) mean 2.
+	Multiplier float64 `json:"multiplier,omitempty"`
+	// Jitter is the fraction of the delay (0..1) added or subtracted
+	// uniformly at random: delay * (1 ± Jitter*u), u ∈ [0,1).
+	Jitter float64 `json:"jitter,omitempty"`
+}
+
+// Delay returns the wait before retry number attempt (1-based: attempt 1 is
+// the delay after the first failure). rng supplies the jitter draw and may
+// be nil when Jitter is 0; passing a seeded *rand.Rand makes the full
+// schedule deterministic.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	if b.Base <= 0 || attempt < 1 {
+		return 0
+	}
+	mult := b.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	d := float64(b.Base)
+	for i := 1; i < attempt; i++ {
+		d *= mult
+		if b.Max > 0 && d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Max > 0 && d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 && rng != nil {
+		u := rng.Float64()*2 - 1 // [-1, 1)
+		d += d * b.Jitter * u
+		if d < 0 {
+			d = 0
+		}
+	}
+	return time.Duration(d)
+}
+
+// Policy is the declarative per-block execution contract. The zero value
+// means "one attempt, no timeout, continue on failure" — exactly the
+// engine's pre-resilience behaviour, so existing workflows run unchanged.
+type Policy struct {
+	// Timeout bounds each individual invocation attempt. Zero means no
+	// per-attempt deadline (the workflow context still applies).
+	Timeout Duration `json:"timeout,omitempty"`
+	// MaxAttempts is the total invocation budget including the first
+	// attempt. Zero and one both mean no retries.
+	MaxAttempts int `json:"max_attempts,omitempty"`
+	// Backoff shapes the inter-attempt delays.
+	Backoff Backoff `json:"backoff,omitempty"`
+	// RetryOn optionally narrows which errors count as transient: an
+	// error is retryable when its message contains any listed substring
+	// (case-insensitive). Empty means the DefaultRetryable classifier.
+	RetryOn []string `json:"retry_on,omitempty"`
+	// OnExhausted is the failure action once attempts run out.
+	OnExhausted Action `json:"on_exhausted,omitempty"`
+}
+
+// Merge overlays p (a node-level policy, possibly nil) on engine-level
+// defaults: any field explicitly set on the node wins, unset fields fall
+// back to the defaults. This is how per-block policies in the workflow
+// JSON compose with cornetd-wide configuration.
+func (p *Policy) Merge(def Policy) Policy {
+	if p == nil {
+		return def
+	}
+	out := *p
+	if out.Timeout == 0 {
+		out.Timeout = def.Timeout
+	}
+	if out.MaxAttempts == 0 {
+		out.MaxAttempts = def.MaxAttempts
+	}
+	if out.Backoff == (Backoff{}) {
+		out.Backoff = def.Backoff
+	}
+	if len(out.RetryOn) == 0 {
+		out.RetryOn = def.RetryOn
+	}
+	if out.OnExhausted == "" {
+		out.OnExhausted = def.OnExhausted
+	}
+	return out
+}
+
+// Attempts normalizes MaxAttempts to at least one invocation.
+func (p Policy) Attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Validate rejects malformed policies at deploy time, before an artifact
+// ships: unknown actions, negative budgets, out-of-range jitter.
+func (p Policy) Validate() error {
+	var problems []string
+	if !p.OnExhausted.Valid() {
+		problems = append(problems, fmt.Sprintf("unknown failure action %q", p.OnExhausted))
+	}
+	if p.MaxAttempts < 0 {
+		problems = append(problems, fmt.Sprintf("negative max_attempts %d", p.MaxAttempts))
+	}
+	if p.Timeout < 0 {
+		problems = append(problems, "negative timeout")
+	}
+	if p.Backoff.Jitter < 0 || p.Backoff.Jitter > 1 {
+		problems = append(problems, fmt.Sprintf("jitter %v outside [0,1]", p.Backoff.Jitter))
+	}
+	if p.Backoff.Base < 0 || p.Backoff.Max < 0 {
+		problems = append(problems, "negative backoff bound")
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("resilience: invalid policy: %s", strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// Retryable classifies err under the policy's RetryOn patterns, falling
+// back to DefaultRetryable when none are declared. Circuit-breaker
+// rejections and context cancellation are never retryable.
+func (p Policy) Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrBreakerOpen) || errors.Is(err, context.Canceled) {
+		return false
+	}
+	if len(p.RetryOn) == 0 {
+		return DefaultRetryable(err)
+	}
+	msg := strings.ToLower(err.Error())
+	for _, pat := range p.RetryOn {
+		if strings.Contains(msg, strings.ToLower(pat)) {
+			return true
+		}
+	}
+	return errors.Is(err, context.DeadlineExceeded)
+}
+
+// defaultTransient are the error-message fragments the default classifier
+// treats as transient: the vNF failure modes of §5.1 (SSH connectivity
+// drops, REST endpoints answering 5xx mid-restart) plus generic network
+// flakiness.
+var defaultTransient = []string{
+	"transient", "timeout", "timed out", "unreachable", "connection refused",
+	"connection reset", "temporarily", "too many requests", "bad gateway",
+	"service unavailable", "503", "502",
+}
+
+// DefaultRetryable is the built-in transient-error classifier: attempt
+// deadlines are retryable, cancellation and breaker rejections are not,
+// and otherwise the error message is matched against a list of well-known
+// transient fragments.
+func DefaultRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, ErrBreakerOpen) {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	msg := strings.ToLower(err.Error())
+	for _, pat := range defaultTransient {
+		if strings.Contains(msg, pat) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,171 @@
+package resilience
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBackoffScheduleDeterministic(t *testing.T) {
+	b := Backoff{Base: Duration(100 * time.Millisecond), Max: Duration(2 * time.Second), Multiplier: 2, Jitter: 0.5}
+	schedule := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		var out []time.Duration
+		for attempt := 1; attempt <= 8; attempt++ {
+			out = append(out, b.Delay(attempt, rng))
+		}
+		return out
+	}
+	a, c := schedule(7), schedule(7)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", i+1, a[i], c[i])
+		}
+	}
+	d := schedule(8)
+	same := true
+	for i := range a {
+		if a[i] != d[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical schedules: %v", a)
+	}
+}
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	b := Backoff{Base: Duration(100 * time.Millisecond), Max: Duration(1 * time.Second)}
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 1
+		200 * time.Millisecond, // default multiplier 2
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1 * time.Second, // capped
+		1 * time.Second,
+	}
+	for i, w := range want {
+		if got := b.Delay(i+1, nil); got != w {
+			t.Errorf("attempt %d: got %v want %v", i+1, got, w)
+		}
+	}
+	if got := (Backoff{}).Delay(3, nil); got != 0 {
+		t.Errorf("zero backoff should wait 0, got %v", got)
+	}
+	// Jitter keeps delays within base ± jitter fraction.
+	jb := Backoff{Base: Duration(time.Second), Jitter: 0.25}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		d := jb.Delay(1, rng)
+		if d < 750*time.Millisecond || d > 1250*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [750ms, 1250ms]", d)
+		}
+	}
+}
+
+func TestPolicyMerge(t *testing.T) {
+	def := Policy{
+		Timeout:     Duration(5 * time.Second),
+		MaxAttempts: 3,
+		Backoff:     Backoff{Base: Duration(time.Second)},
+		OnExhausted: ActionPause,
+	}
+	var nilPol *Policy
+	if got := nilPol.Merge(def); got.Timeout != def.Timeout || got.MaxAttempts != def.MaxAttempts ||
+		got.Backoff != def.Backoff || got.OnExhausted != def.OnExhausted {
+		t.Fatalf("nil policy should inherit defaults, got %+v", got)
+	}
+	node := &Policy{MaxAttempts: 7, OnExhausted: ActionRollback}
+	got := node.Merge(def)
+	if got.MaxAttempts != 7 || got.OnExhausted != ActionRollback {
+		t.Fatalf("node fields should win: %+v", got)
+	}
+	if got.Timeout != def.Timeout || got.Backoff != def.Backoff {
+		t.Fatalf("unset node fields should inherit: %+v", got)
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	good := Policy{MaxAttempts: 3, OnExhausted: ActionSkip, Backoff: Backoff{Jitter: 0.3}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+	for name, bad := range map[string]Policy{
+		"action":   {OnExhausted: "explode"},
+		"attempts": {MaxAttempts: -1},
+		"jitter":   {Backoff: Backoff{Jitter: 2}},
+		"timeout":  {Timeout: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s: invalid policy accepted", name)
+		}
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	var p Policy // default classifier
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("testbed: injected transient failure on x/y"), true},
+		{errors.New("testbed: vce-000 unreachable (ssh connectivity)"), true},
+		{errors.New("upstream returned 503 service unavailable"), true},
+		{context.DeadlineExceeded, true},
+		{context.Canceled, false},
+		{fmt.Errorf("%w: /api/bb/x retries in 3s", ErrBreakerOpen), false},
+		{errors.New("testbed: software-upgrade on x without sw_version"), false},
+	}
+	for _, c := range cases {
+		if got := p.Retryable(c.err); got != c.want {
+			t.Errorf("default Retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	narrow := Policy{RetryOn: []string{"flap"}}
+	if !narrow.Retryable(errors.New("transient FLAP on block")) {
+		t.Error("RetryOn match should be case-insensitive")
+	}
+	if narrow.Retryable(errors.New("unreachable")) {
+		t.Error("RetryOn should narrow the default classifier")
+	}
+	if !narrow.Retryable(context.DeadlineExceeded) {
+		t.Error("attempt deadline should stay retryable under RetryOn")
+	}
+}
+
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	in := Policy{
+		Timeout:     Duration(1500 * time.Millisecond),
+		MaxAttempts: 4,
+		Backoff:     Backoff{Base: Duration(50 * time.Millisecond), Max: Duration(time.Second), Multiplier: 3, Jitter: 0.1},
+		RetryOn:     []string{"transient"},
+		OnExhausted: ActionRollback,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Policy
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Timeout != in.Timeout || out.Backoff != in.Backoff || out.OnExhausted != in.OnExhausted {
+		t.Fatalf("round trip changed policy: %+v -> %+v", in, out)
+	}
+	// Human-written duration strings decode too.
+	var p Policy
+	if err := json.Unmarshal([]byte(`{"timeout":"2s","backoff":{"base":"10ms"}}`), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Timeout.Std() != 2*time.Second || p.Backoff.Base.Std() != 10*time.Millisecond {
+		t.Fatalf("string durations misparsed: %+v", p)
+	}
+	if err := json.Unmarshal([]byte(`{"timeout":"fast"}`), &p); err == nil {
+		t.Fatal("garbage duration accepted")
+	}
+}

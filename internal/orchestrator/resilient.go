@@ -1,0 +1,109 @@
+package orchestrator
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cornet/internal/orchestrator/resilience"
+)
+
+// This file holds the policy-driven invocation loop shared by the workflow
+// engine and the event-driven engine: per-attempt timeouts, circuit-breaker
+// admission, retryable-error classification, and backoff with deterministic
+// seeded jitter. The policy semantics live in orchestrator/resilience; this
+// is the runtime that applies them to an Invoker.
+
+// policyInvoker bundles everything one policy-governed invocation needs.
+// Both engines assemble one per call site from their own configuration.
+type policyInvoker struct {
+	inv      Invoker
+	breakers *resilience.BreakerSet
+	// delay computes the backoff before retry #attempt (jitter included).
+	delay func(resilience.Backoff, int) time.Duration
+	// sleep waits context-aware between attempts.
+	sleep func(context.Context, time.Duration) error
+	// onRetry observes every scheduled retry (span events, metrics, logs).
+	onRetry func(attempt int, delay time.Duration, err error)
+}
+
+// do runs one building-block invocation under pol. It returns the outputs,
+// the number of attempts actually made (0 when the circuit breaker
+// rejected the call outright), and the final error. It retries only errors
+// the policy classifies as transient, never past the attempt budget, and
+// never once the parent context is done.
+func (pi policyInvoker) do(ctx context.Context, api string, args map[string]string, pol resilience.Policy) (map[string]string, int, error) {
+	budget := pol.Attempts()
+	for attempt := 1; ; attempt++ {
+		if pi.breakers != nil {
+			if err := pi.breakers.Allow(api); err != nil {
+				return nil, attempt - 1, err
+			}
+		}
+		actx := ctx
+		cancel := func() {}
+		if pol.Timeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, pol.Timeout.Std())
+		}
+		out, err := pi.inv.Invoke(actx, api, args)
+		cancel()
+		if pi.breakers != nil {
+			pi.breakers.Record(api, err == nil)
+		}
+		if err == nil {
+			return out, attempt, nil
+		}
+		if ctx.Err() != nil || attempt >= budget || !pol.Retryable(err) {
+			return nil, attempt, err
+		}
+		d := pi.delay(pol.Backoff, attempt)
+		if pi.onRetry != nil {
+			pi.onRetry(attempt, d, err)
+		}
+		if serr := pi.sleep(ctx, d); serr != nil {
+			// The workflow context died during backoff; surface the
+			// block's error, the caller notices ctx.Err separately.
+			return nil, attempt, err
+		}
+	}
+}
+
+// ctxSleep waits for d unless the context ends first.
+func ctxSleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// jitterRand is a mutex-guarded seeded random source for backoff jitter:
+// one per engine, so a fixed seed yields a reproducible retry schedule
+// regardless of which goroutine draws.
+type jitterRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// newJitterRand seeds a jitter source.
+func newJitterRand(seed int64) *jitterRand {
+	return &jitterRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+// delay computes the jittered backoff for retry #attempt under b. A nil
+// receiver (zero-value engine) degrades to jitterless backoff.
+func (j *jitterRand) delay(b resilience.Backoff, attempt int) time.Duration {
+	if j == nil {
+		return b.Delay(attempt, nil)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return b.Delay(attempt, j.rng)
+}

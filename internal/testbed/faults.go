@@ -1,0 +1,200 @@
+package testbed
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Fault-injection layer: per-NF configurable error rates, latency
+// distributions, and flap/blackhole modes, so the orchestrator's execution
+// policies (retry, backoff, circuit breaking, failure actions) are testable
+// end-to-end against the failure modes §5.1 reports from production — SSH
+// connectivity drops, slow vNFs, endpoints that die mid-change. All
+// randomness draws from the testbed's seeded *rand.Rand, so a given seed
+// reproduces the exact same fault sequence.
+
+// Fault modes. The empty mode injects only the probabilistic error rate
+// and latency of the spec.
+const (
+	// FaultModeFlap alternates deterministic up/down windows of
+	// FlapPeriod calls each: calls in a down window fail with a
+	// transient error. Models an NF bouncing during a rolling restart.
+	FaultModeFlap = "flap"
+	// FaultModeBlackhole hangs every call until its context expires —
+	// the dead-endpoint mode that exercises per-attempt timeouts and
+	// trips circuit breakers.
+	FaultModeBlackhole = "blackhole"
+)
+
+// FaultTargetAll is the wildcard target: the fault applies to every NF
+// that has no more specific fault configured.
+const FaultTargetAll = "*"
+
+// FaultSpec configures injected misbehaviour for one NF (or the "*"
+// wildcard). The zero value injects nothing.
+type FaultSpec struct {
+	// ErrorRate is the probability (0..1) that a call fails with a
+	// transient error, drawn from the testbed's seeded RNG.
+	ErrorRate float64 `json:"error_rate,omitempty"`
+	// LatencyMS delays every call by this many milliseconds before the
+	// block executes.
+	LatencyMS int `json:"latency_ms,omitempty"`
+	// LatencyJitterMS adds a uniform random extra delay in [0, jitter)
+	// milliseconds, drawn from the seeded RNG.
+	LatencyJitterMS int `json:"latency_jitter_ms,omitempty"`
+	// Mode selects a structural failure pattern: "", "flap", or
+	// "blackhole".
+	Mode string `json:"mode,omitempty"`
+	// FlapPeriod is the window length (in calls) for flap mode; 0 means
+	// 5. The first window is up, the second down, and so on.
+	FlapPeriod int `json:"flap_period,omitempty"`
+}
+
+// validate rejects malformed specs before they are installed.
+func (s FaultSpec) validate() error {
+	if s.ErrorRate < 0 || s.ErrorRate > 1 {
+		return fmt.Errorf("testbed: error_rate %v outside [0,1]", s.ErrorRate)
+	}
+	if s.LatencyMS < 0 || s.LatencyJitterMS < 0 {
+		return fmt.Errorf("testbed: negative latency")
+	}
+	if s.FlapPeriod < 0 {
+		return fmt.Errorf("testbed: negative flap_period")
+	}
+	switch s.Mode {
+	case "", FaultModeFlap, FaultModeBlackhole:
+		return nil
+	}
+	return fmt.Errorf("testbed: unknown fault mode %q (want flap or blackhole)", s.Mode)
+}
+
+// zero reports whether the spec injects nothing.
+func (s FaultSpec) zero() bool {
+	return s.ErrorRate == 0 && s.LatencyMS == 0 && s.LatencyJitterMS == 0 && s.Mode == ""
+}
+
+// faultState pairs a spec with its per-target call counter (flap windows
+// are deterministic functions of the counter).
+type faultState struct {
+	spec  FaultSpec
+	calls int
+}
+
+// SetFault installs (or replaces) the fault spec for a target NF id, or
+// for every NF via FaultTargetAll. A zero spec clears the target instead.
+func (tb *Testbed) SetFault(target string, spec FaultSpec) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	if target == "" {
+		target = FaultTargetAll
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if spec.zero() {
+		delete(tb.faults, target)
+		return nil
+	}
+	tb.faults[target] = &faultState{spec: spec}
+	return nil
+}
+
+// ClearFault removes the fault spec for one target.
+func (tb *Testbed) ClearFault(target string) {
+	if target == "" {
+		target = FaultTargetAll
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	delete(tb.faults, target)
+}
+
+// ClearFaults removes every installed fault spec.
+func (tb *Testbed) ClearFaults() {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.faults = map[string]*faultState{}
+}
+
+// Faults snapshots the installed fault specs by target.
+func (tb *Testbed) Faults() map[string]FaultSpec {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	out := make(map[string]FaultSpec, len(tb.faults))
+	for t, f := range tb.faults {
+		out[t] = f.spec
+	}
+	return out
+}
+
+// faultFor resolves the fault state applying to an instance: an exact
+// match wins over the wildcard. The per-target call counter is advanced
+// here, under the testbed lock, so flap windows are deterministic.
+func (tb *Testbed) faultFor(instance string) (FaultSpec, int, bool) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	f, ok := tb.faults[instance]
+	if !ok {
+		f, ok = tb.faults[FaultTargetAll]
+	}
+	if !ok {
+		return FaultSpec{}, 0, false
+	}
+	call := f.calls
+	f.calls++
+	return f.spec, call, true
+}
+
+// applyFault enforces the instance's fault spec for one call: latency
+// first, then blackhole/flap, then the probabilistic error rate. The
+// returned errors are worded as transient network failures so the default
+// retryable-error classifier treats them accordingly (blackholes surface
+// as context deadline errors, which classify the same way — it is the
+// circuit breaker's job to stop the bleeding).
+func (tb *Testbed) applyFault(ctx context.Context, block, instance string) error {
+	spec, call, ok := tb.faultFor(instance)
+	if !ok {
+		return nil
+	}
+	if d := tb.faultLatency(spec); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	switch spec.Mode {
+	case FaultModeBlackhole:
+		<-ctx.Done()
+		return fmt.Errorf("testbed: %s blackholed on %s: %w", instance, block, ctx.Err())
+	case FaultModeFlap:
+		period := spec.FlapPeriod
+		if period <= 0 {
+			period = 5
+		}
+		if (call/period)%2 == 1 {
+			return fmt.Errorf("testbed: transient flap on %s/%s (call %d)", block, instance, call)
+		}
+	}
+	if spec.ErrorRate > 0 {
+		tb.rngMu.Lock()
+		hit := tb.rng.Float64() < spec.ErrorRate
+		tb.rngMu.Unlock()
+		if hit {
+			return fmt.Errorf("testbed: injected transient failure on %s/%s", block, instance)
+		}
+	}
+	return nil
+}
+
+// faultLatency draws the call delay for a spec from the seeded RNG.
+func (tb *Testbed) faultLatency(spec FaultSpec) time.Duration {
+	d := time.Duration(spec.LatencyMS) * time.Millisecond
+	if spec.LatencyJitterMS > 0 {
+		tb.rngMu.Lock()
+		d += time.Duration(tb.rng.Int63n(int64(spec.LatencyJitterMS))) * time.Millisecond
+		tb.rngMu.Unlock()
+	}
+	return d
+}

@@ -10,6 +10,12 @@
 // in-process runners behind their REST API paths, exposes an
 // orchestrator.Invoker for direct execution, and an http.Handler for real
 // REST dispatch (cmd/cornetd).
+//
+// A fault-injection layer (faults.go) overlays per-NF error rates, latency
+// distributions, flap windows, and blackholes on every invocation, so the
+// orchestrator's execution policies can be rehearsed against the §5.1
+// production failure modes; all randomness draws from the testbed's single
+// seeded RNG for reproducibility.
 package testbed
 
 import (
@@ -119,22 +125,36 @@ type Testbed struct {
 	nfs map[string]*NF
 	// Latency simulates per-block execution time (0 for fast tests).
 	Latency time.Duration
-	// FailureRate injects random block failures (0..1).
+	// FailureRate injects random block failures (0..1) on every call;
+	// per-NF fault specs (SetFault) are the finer-grained successor.
 	FailureRate float64
-	rng         *rand.Rand
-	rngMu       sync.Mutex
+	// MetricNoise is the relative amplitude (e.g. 0.02 for ±2%) of
+	// random noise applied to NF metric shifts on upgrades and config
+	// changes. It draws from the seeded RNG, so runs are reproducible;
+	// 0 (the default) disables noise entirely.
+	MetricNoise float64
+	// rng is the single seeded randomness source for the whole testbed —
+	// failure draws, fault-injection jitter, and metric noise all go
+	// through it (guarded by rngMu), never through the global math/rand,
+	// so a testbed seed fully determines a run.
+	rng   *rand.Rand
+	rngMu sync.Mutex
 	// badImages maps software versions to a packet-discard degradation
 	// factor applied on activation — deterministic fault injection for
 	// exercising the Fig. 4 roll-back path.
 	badImages map[string]float64
+	// faults holds per-NF (and wildcard) fault-injection specs.
+	faults map[string]*faultState
 }
 
-// New creates an empty testbed.
+// New creates an empty testbed. Every random draw the testbed ever makes
+// derives from seed, so equal seeds reproduce equal runs.
 func New(seed int64) *Testbed {
 	return &Testbed{
 		nfs:       map[string]*NF{},
 		rng:       rand.New(rand.NewSource(seed)),
 		badImages: map[string]float64{},
+		faults:    map[string]*faultState{},
 	}
 }
 
@@ -221,6 +241,9 @@ func (tb *Testbed) Invoke(ctx context.Context, api string, args map[string]strin
 	}
 	if tb.randomFailure() {
 		return nil, fmt.Errorf("testbed: injected transient failure on %s/%s", block, instance)
+	}
+	if err := tb.applyFault(ctx, block, instance); err != nil {
+		return nil, err
 	}
 	switch block {
 	case "health-check":
@@ -316,12 +339,24 @@ func (tb *Testbed) softwareUpgrade(nf *NF, version string) (map[string]string, e
 	nf.activeVersion = version
 	nf.rebootCount++
 	if factor, bad := tb.badImageFactor(version); bad {
-		nf.metrics["pkt_discards"] *= factor
+		nf.metrics["pkt_discards"] *= factor * tb.noiseFactor()
 	} else {
-		nf.metrics["pkt_discards"] *= 0.6
+		nf.metrics["pkt_discards"] *= 0.6 * tb.noiseFactor()
 	}
-	nf.metrics["mem_util"] *= 1.05
+	nf.metrics["mem_util"] *= 1.05 * tb.noiseFactor()
 	return map[string]string{"status": "success", "activated": version}, nil
+}
+
+// noiseFactor draws a multiplicative metric-noise factor 1 ± MetricNoise·u
+// from the seeded RNG (exactly 1 when noise is disabled), keeping noisy
+// runs reproducible for a given testbed seed.
+func (tb *Testbed) noiseFactor() float64 {
+	if tb.MetricNoise <= 0 {
+		return 1
+	}
+	tb.rngMu.Lock()
+	defer tb.rngMu.Unlock()
+	return 1 + tb.MetricNoise*(tb.rng.Float64()*2-1)
 }
 
 func (tb *Testbed) configChange(nf *NF, payload string) (map[string]string, error) {

@@ -12,17 +12,27 @@
 // reach an end node from start, decision nodes must have both branches,
 // and every block's required inputs must be producible by upstream outputs
 // or workflow inputs.
+//
+// Task nodes may carry an execution policy (resilience.Policy: per-attempt
+// timeout, retry budget, backoff, failure action) and a compensation block
+// for the rollback action; both deploy with the workflow artifact, so a
+// change's robustness posture travels with the change.
 package workflow
 
 import (
 	"encoding/json"
 	"fmt"
 	"sort"
+
+	"cornet/internal/orchestrator/resilience"
 )
 
 // NodeKind enumerates the BPMN-ish node types the designer supports.
 type NodeKind string
 
+// The node kinds: every workflow has one Start and at least one End;
+// Task nodes invoke catalog building blocks and Decision nodes branch on
+// the preceding task's recorded status.
 const (
 	Start    NodeKind = "start"
 	End      NodeKind = "end"
@@ -45,6 +55,16 @@ type Node struct {
 	// Cond names the state variable a Decision inspects; the branch taken
 	// is "yes" when the variable equals "success" or "true".
 	Cond string `json:"cond,omitempty"`
+	// Policy optionally declares the execution policy for a Task —
+	// per-attempt timeout, retry budget, backoff, and the failure action
+	// taken when attempts are exhausted. It deploys inside the artifact
+	// (like the paper's Camunda config in the generated WAR) and overlays
+	// the engine-level defaults field by field; nil inherits them all.
+	Policy *resilience.Policy `json:"policy,omitempty"`
+	// Compensate names the building block invoked as this Task's
+	// compensation when Policy.OnExhausted is "rollback". Empty defaults
+	// to the catalog roll-back block.
+	Compensate string `json:"compensate,omitempty"`
 }
 
 // Edge connects two nodes. Label is "" for unconditional edges and
@@ -133,6 +153,7 @@ type VerifyError struct {
 	Problems []string
 }
 
+// Error summarizes the problem count and list in one line.
 func (e *VerifyError) Error() string {
 	return fmt.Sprintf("workflow verification failed: %d problem(s): %v", len(e.Problems), e.Problems)
 }
@@ -185,6 +206,16 @@ func (w *Workflow) Verify(resolve BlockResolver) error {
 		case Task:
 			if n.Block == "" {
 				add("task %q names no building block", n.ID)
+			}
+			if n.Policy != nil {
+				if err := n.Policy.Validate(); err != nil {
+					add("task %q: %v", n.ID, err)
+				}
+				if n.Policy.OnExhausted != resilience.ActionRollback && n.Compensate != "" {
+					add("task %q declares a compensate block but its failure action is %q, not rollback", n.ID, n.Policy.OnExhausted)
+				}
+			} else if n.Compensate != "" {
+				add("task %q declares a compensate block but no policy", n.ID)
 			}
 		case Decision:
 			if n.Cond == "" {
@@ -320,6 +351,11 @@ func (w *Workflow) verifyParamFlow(resolve BlockResolver, outEdges map[string][]
 			problems = append(problems, fmt.Sprintf("task %q references unknown building block %q", n.ID, n.Block))
 			continue
 		}
+		if n.Compensate != "" {
+			if _, ok := resolve(n.Compensate); !ok {
+				problems = append(problems, fmt.Sprintf("task %q references unknown compensation block %q", n.ID, n.Compensate))
+			}
+		}
 		outNames := map[string]bool{}
 		for _, o := range info.Outputs {
 			outNames[o.Name] = true
@@ -377,13 +413,20 @@ func (w *Workflow) Clone() *Workflow {
 	return &c
 }
 
-// Blocks returns the distinct building-block names used by the workflow,
-// sorted.
+// Blocks returns the distinct building-block names used by the workflow —
+// including compensation blocks declared for rollback policies, so the
+// deployment artifact resolves their REST locations too — sorted.
 func (w *Workflow) Blocks() []string {
 	set := map[string]bool{}
 	for _, n := range w.Nodes {
-		if n.Kind == Task && n.Block != "" {
+		if n.Kind != Task {
+			continue
+		}
+		if n.Block != "" {
 			set[n.Block] = true
+		}
+		if n.Compensate != "" {
+			set[n.Compensate] = true
 		}
 	}
 	out := make([]string, 0, len(set))

@@ -1,0 +1,133 @@
+// Command doccheck fails when an exported identifier in the given packages
+// lacks a doc comment. It walks top-level declarations — functions,
+// methods, types, and the names in const/var blocks — and accepts either a
+// per-declaration comment or, for grouped const/var specs, a comment on
+// the enclosing block. It is wired into `make doccheck` and CI so the
+// public surface of the orchestration, workflow, and testbed packages
+// stays documented.
+//
+// Usage: doccheck [-v] ./internal/orchestrator ./internal/workflow ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list every documented identifier too")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck [-v] <package dir>...")
+		os.Exit(2)
+	}
+	failures := 0
+	for _, dir := range flag.Args() {
+		failures += checkDir(dir, *verbose)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifier(s) without doc comments\n", failures)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory (tests excluded) and reports every
+// undocumented exported identifier on stderr, returning the count.
+func checkDir(dir string, verbose bool) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+		return 1
+	}
+	failures := 0
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		fmt.Fprintf(os.Stderr, "%s:%d: exported %s %s has no doc comment\n",
+			filepath.ToSlash(p.Filename), p.Line, kind, name)
+		failures++
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !exportedRecv(d) {
+						continue
+					}
+					if d.Doc == nil {
+						report(d.Pos(), "function", d.Name.Name)
+					} else if verbose {
+						fmt.Printf("ok %s\n", d.Name.Name)
+					}
+				case *ast.GenDecl:
+					checkGenDecl(d, report, verbose)
+				}
+			}
+		}
+	}
+	return failures
+}
+
+// exportedRecv reports whether a method's receiver type is exported (a
+// method on an unexported type is not public surface). Plain functions
+// count as exported.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return !ok || id.IsExported()
+}
+
+// checkGenDecl handles type, const, and var declarations. A doc comment on
+// the grouped block covers every spec inside it; otherwise each exported
+// spec needs its own.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string), verbose bool) {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return
+	}
+	kind := strings.ToLower(d.Tok.String())
+	blockDocumented := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if !blockDocumented && s.Doc == nil {
+				report(s.Pos(), kind, s.Name.Name)
+			} else if verbose {
+				fmt.Printf("ok %s\n", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				// Inside a documented block, individual specs may ride on
+				// the block comment (idiomatic for enum-style groups).
+				if !blockDocumented && s.Doc == nil && s.Comment == nil {
+					report(name.Pos(), kind, name.Name)
+				} else if verbose {
+					fmt.Printf("ok %s\n", name.Name)
+				}
+			}
+		}
+	}
+}
