@@ -20,18 +20,22 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# The planning, orchestration, and telemetry packages are the
-# concurrency-heavy core (portfolio racing, component workers, dispatcher,
-# shared metrics registry and span trees): keep them race-clean.
+# The planning, orchestration, controller-runtime, and telemetry packages
+# are the concurrency-heavy core (portfolio racing, component workers,
+# dispatcher, work queues, reconcile loops, copy-on-write inventory, shared
+# metrics registry and span trees): keep them race-clean. cmd/cornetd rides
+# along for the declarative-API end-to-end.
 race:
-	$(GO) test -race ./internal/plan/... ./internal/orchestrator/... ./internal/obs/...
+	$(GO) test -race ./internal/plan/... ./internal/orchestrator/... ./internal/obs/... \
+		./internal/controller/... ./internal/inventory ./cmd/cornetd
 
 # Documentation hygiene: formatting, vet, and a go/ast walk asserting that
 # every exported identifier in the execution-facing packages carries a doc
 # comment (tools/doccheck).
 doccheck: vet fmt-check
 	$(GO) run ./tools/doccheck ./internal/orchestrator ./internal/orchestrator/resilience \
-		./internal/workflow ./internal/testbed
+		./internal/workflow ./internal/testbed \
+		./internal/controller ./internal/controller/reconcile ./internal/changelog
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

@@ -42,11 +42,15 @@ type benchEntry struct {
 
 // benchReport is the BENCH_plan.json schema.
 type benchReport struct {
-	Scenario   string       `json:"scenario"`
-	Instances  int          `json:"instances"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	NumCPU     int          `json:"num_cpu"`
-	Entries    []benchEntry `json:"entries"`
+	Scenario   string `json:"scenario"`
+	Instances  int    `json:"instances"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Note marks artifacts captured on hosts where parallel speedups
+	// cannot show (num_cpu/GOMAXPROCS of 1), so a flat speedup column in a
+	// checked-in report explains itself.
+	Note    string       `json:"note,omitempty"`
+	Entries []benchEntry `json:"entries"`
 }
 
 // denseScenario builds the Section-4.2 blow-up case: the uniformity and
@@ -96,6 +100,9 @@ func runBenchParallel(quick bool) error {
 		Instances:  sub.Len(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+	}
+	if report.NumCPU == 1 || report.GOMAXPROCS == 1 {
+		report.Note = "single-core host: speedup_vs_1 is flat by construction; rerun on a multi-core host for the scaling curve"
 	}
 	fmt.Printf("scenario: %d instances, uniformity+localize, node budget %d, %d reps (GOMAXPROCS=%d)\n\n",
 		sub.Len(), nodeBudget, reps, report.GOMAXPROCS)

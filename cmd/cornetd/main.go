@@ -1,7 +1,9 @@
 // Command cornetd serves CORNET over REST: the building-block endpoints of
 // a simulated testbed (POST /api/bb/<block>), the catalog (GET
 // /api/catalog), workflow deployment (POST /api/wf/deploy), workflow
-// execution (POST /api/wf/execute), and schedule planning (POST /api/plan).
+// execution (POST /api/wf/execute), schedule planning (POST /api/plan),
+// declarative desired fleet state (POST /api/desired), and the change
+// journal the reconciler writes (GET /api/revisions).
 //
 // It is the binary face of the framework — the same role the paper's
 // CORNET deployment plays for the operations teams' user interfaces.
@@ -21,6 +23,7 @@ import (
 	"time"
 
 	"cornet/internal/catalog"
+	"cornet/internal/controller/reconcile"
 	"cornet/internal/core"
 	"cornet/internal/inventory"
 	"cornet/internal/netgen"
@@ -37,6 +40,13 @@ type server struct {
 	net *netgen.Network
 	// planTimeout bounds each /api/plan request's schedule discovery.
 	planTimeout time.Duration
+
+	// fleetInv mirrors the testbed into an inventory the declarative
+	// reconciler diffs against and writes applied changes back to.
+	fleetInv *inventory.Inventory
+	// rec is the desired-state reconcile controller behind /api/desired;
+	// serve() starts it alongside the listener.
+	rec *reconcile.Manager
 
 	log     *slog.Logger
 	httpm   *obs.HTTPMetrics
@@ -56,13 +66,23 @@ func newServer(f *core.Framework, tb *testbed.Testbed, net *netgen.Network,
 	if f.Engine != nil {
 		f.Engine.Log = log
 	}
-	return &server{
+	s := &server{
 		f: f, tb: tb, net: net, planTimeout: planTimeout,
 		log:         log,
 		httpm:       obs.NewHTTPMetrics(obs.Default),
 		started:     time.Now(),
 		deployments: map[string]*workflow.Deployment{},
 	}
+	s.fleetInv = testbed.MirrorInventory(tb, assignMarket)
+	rec, err := reconcile.New(reconcile.Config{
+		Framework: f, Inventory: s.fleetInv, Log: log,
+	})
+	if err != nil {
+		// Framework and Inventory are both set above — the only failure modes.
+		panic(err)
+	}
+	s.rec = rec
+	return s
 }
 
 func main() {

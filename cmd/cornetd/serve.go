@@ -32,6 +32,8 @@ func newMux(s *server) *http.ServeMux {
 	wrap("/api/wf/deploy", http.HandlerFunc(s.handleDeploy))
 	wrap("/api/wf/execute", http.HandlerFunc(s.handleExecute))
 	wrap("/api/plan", http.HandlerFunc(s.handlePlan))
+	wrap("/api/desired", http.HandlerFunc(s.handleDesired))
+	wrap("/api/revisions", http.HandlerFunc(s.handleRevisions))
 	mux.Handle("/metrics", obs.Default.Handler())
 	// pprof registers on the default mux only; expose it here explicitly.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -55,6 +57,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Revision      string  `json:"revision,omitempty"`
 		TestbedVNFs   int     `json:"testbed_vnfs"`
 		Deployments   int     `json:"deployments"`
+		Fleets        int     `json:"fleets"`
 		InFlight      int     `json:"in_flight_requests"`
 	}{
 		Status:        "ok",
@@ -63,6 +66,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Revision:      buildRevision(),
 		TestbedVNFs:   s.tb.Len(),
 		Deployments:   deployments,
+		Fleets:        len(s.rec.Store().List()),
 		InFlight:      int(s.httpm.InFlight.Value()),
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -86,6 +90,11 @@ func buildRevision() string {
 func serve(s *server, addr string, drain time.Duration) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The reconcile controller lives for the server's lifetime: the signal
+	// context shuts its queue down, Stop waits out in-flight passes.
+	s.rec.Start(ctx)
+	defer s.rec.Stop()
 
 	srv := &http.Server{Addr: addr, Handler: newMux(s)}
 	errc := make(chan error, 1)

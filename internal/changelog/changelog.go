@@ -18,6 +18,10 @@ import (
 // ChangeType enumerates the four change classes of Table 1.
 type ChangeType string
 
+// The four change classes of Table 1: software upgrades and configuration
+// changes are automatable through CORNET workflows; node retuning and
+// construction work are operator-driven activities the planner schedules
+// around.
 const (
 	SoftwareUpgrade  ChangeType = "software-upgrade"
 	ConfigChange     ChangeType = "config-change"

@@ -1,0 +1,96 @@
+package changelog
+
+import (
+	"sync"
+	"time"
+)
+
+// Outcome classifies how a journaled change attempt ended.
+type Outcome string
+
+// The revision outcomes: Applied changes mutated the live inventory,
+// Failed ones were attempted but did not take effect (the reconciler will
+// retry them), and Skipped ones were filtered out before execution.
+const (
+	OutcomeApplied Outcome = "applied"
+	OutcomeFailed  Outcome = "failed"
+	OutcomeSkipped Outcome = "skipped"
+)
+
+// Revision is one audit-trail entry for a change the reconciliation
+// controller drove (or attempted to drive) against one element. Unlike the
+// synthetic Records above — which model the operator's historical ticket
+// feed — revisions are produced by the running system itself, giving
+// operations the post-hoc view of what CORNET changed, when, and under
+// which declared fleet generation.
+type Revision struct {
+	// Seq is the journal-assigned monotonically increasing sequence number.
+	Seq int `json:"seq"`
+	// Time stamps when the revision was recorded.
+	Time time.Time `json:"time"`
+	// Fleet names the desired-state object that drove the change.
+	Fleet string `json:"fleet"`
+	// Generation is the fleet spec generation the reconciler was acting on.
+	Generation int64 `json:"generation"`
+	// Element is the inventory element the change targeted.
+	Element string `json:"element"`
+	// Type is the change class (software-upgrade, config-change, ...).
+	Type ChangeType `json:"type"`
+	// Attr, From, To describe the attribute transition the change applied
+	// or would have applied.
+	Attr string `json:"attr"`
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Outcome reports whether the change took effect.
+	Outcome Outcome `json:"outcome"`
+	// Detail carries the failure reason or auxiliary execution context.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Journal is a concurrency-safe, append-only log of revisions. The zero
+// value is ready to use.
+type Journal struct {
+	mu   sync.Mutex
+	revs []Revision
+}
+
+// Append records a revision, assigning its sequence number and timestamp
+// (rev.Time is preserved when already set, for tests with fake clocks).
+// It returns the stored revision.
+func (j *Journal) Append(rev Revision) Revision {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rev.Seq = len(j.revs) + 1
+	if rev.Time.IsZero() {
+		rev.Time = time.Now()
+	}
+	j.revs = append(j.revs, rev)
+	return rev
+}
+
+// List returns a copy of all revisions in append order.
+func (j *Journal) List() []Revision {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Revision(nil), j.revs...)
+}
+
+// ByFleet returns the revisions recorded for one fleet, in append order.
+func (j *Journal) ByFleet(fleet string) []Revision {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Revision
+	for _, r := range j.revs {
+		if r.Fleet == fleet {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Len reports the number of revisions recorded.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.revs)
+}

@@ -1,0 +1,78 @@
+package controller
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Pool is a bounded run-to-completion job pool built on the controller
+// work queue: each submitted job becomes a uniquely-keyed queue item and
+// executes on one of the pool's workers. It replaces the bespoke
+// goroutine-plus-semaphore loops the orchestrator entry points used to
+// carry, so asynchronous workflow starts and dispatcher batches share the
+// runtime's bounded concurrency, depth metrics, and graceful drain.
+type Pool struct {
+	ctrl *Controller
+
+	mu   sync.Mutex
+	jobs map[string]poolJob
+	seq  uint64
+	wg   sync.WaitGroup
+}
+
+// poolJob is one queued closure with the context it was submitted under.
+type poolJob struct {
+	ctx context.Context
+	fn  func(context.Context)
+}
+
+// NewPool starts a pool with the given worker bound (minimum 1). The name
+// labels the pool's queue-depth and reconcile metrics.
+func NewPool(name string, workers int) *Pool {
+	p := &Pool{jobs: map[string]poolJob{}}
+	p.ctrl = New(name, Func(p.run), Options{Workers: workers})
+	p.ctrl.Start(context.Background())
+	return p
+}
+
+// run executes one submitted job; it is the pool's Reconciler.
+func (p *Pool) run(_ context.Context, key string) (Result, error) {
+	p.mu.Lock()
+	job, ok := p.jobs[key]
+	delete(p.jobs, key)
+	p.mu.Unlock()
+	if !ok {
+		return Result{}, nil
+	}
+	defer p.wg.Done()
+	job.fn(job.ctx)
+	return Result{}, nil
+}
+
+// Go submits fn to run on a pool worker with ctx. Jobs queue beyond the
+// worker bound and run in submission order. After Stop, fn runs inline on
+// the caller's goroutine (callers during shutdown still make progress,
+// they just lose the concurrency bound).
+func (p *Pool) Go(ctx context.Context, fn func(context.Context)) {
+	p.mu.Lock()
+	p.seq++
+	key := fmt.Sprintf("job-%d", p.seq)
+	p.jobs[key] = poolJob{ctx: ctx, fn: fn}
+	p.mu.Unlock()
+	p.wg.Add(1)
+	if !p.ctrl.Add(key) {
+		p.mu.Lock()
+		delete(p.jobs, key)
+		p.mu.Unlock()
+		fn(ctx)
+		p.wg.Done()
+	}
+}
+
+// Wait blocks until every job submitted so far has finished.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Stop drains queued jobs, waits for them to finish, and releases the
+// pool's workers. Idempotent.
+func (p *Pool) Stop() { p.ctrl.Stop() }

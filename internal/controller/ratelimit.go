@@ -1,0 +1,72 @@
+package controller
+
+import (
+	"sync"
+	"time"
+)
+
+// RateLimiter computes per-item requeue delays with exponential backoff:
+// the first failure of an item waits Base, the next 2·Base, then 4·Base,
+// capped at Max. Forget resets an item after it reconciles cleanly, so a
+// recovered object starts its next failure episode from Base again. It is
+// the controller-runtime ItemExponentialFailureRateLimiter shape, sized
+// for CORNET's reconcilers.
+type RateLimiter struct {
+	// Base is the first-failure delay.
+	Base time.Duration
+	// Max caps the exponential growth.
+	Max time.Duration
+
+	mu       sync.Mutex
+	failures map[string]int
+}
+
+// NewRateLimiter returns a limiter with the given base and cap. Non-
+// positive arguments fall back to 10ms and 15s — useful defaults for
+// in-process reconcilers where requeue storms are cheap but busy-looping
+// on a permanently failing item is not.
+func NewRateLimiter(base, max time.Duration) *RateLimiter {
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 15 * time.Second
+	}
+	return &RateLimiter{Base: base, Max: max, failures: map[string]int{}}
+}
+
+// When returns the delay before the item should be retried and records the
+// failure that caused the requeue.
+func (rl *RateLimiter) When(item string) time.Duration {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	n := rl.failures[item]
+	rl.failures[item] = n + 1
+	d := rl.Base
+	for i := 0; i < n; i++ {
+		d *= 2
+		if d >= rl.Max {
+			return rl.Max
+		}
+	}
+	if d > rl.Max {
+		d = rl.Max
+	}
+	return d
+}
+
+// Requeues reports how many rate-limited requeues the item has accumulated
+// since it was last forgotten.
+func (rl *RateLimiter) Requeues(item string) int {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return rl.failures[item]
+}
+
+// Forget clears the item's failure history; call it after a successful
+// reconcile so the next failure episode starts from Base.
+func (rl *RateLimiter) Forget(item string) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	delete(rl.failures, item)
+}

@@ -1,0 +1,130 @@
+package reconcile
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cornet/internal/changelog"
+	"cornet/internal/inventory"
+)
+
+// ConfigAttrPrefix namespaces configuration keys inside inventory element
+// attributes: the NF config key "mtu" is mirrored as the attribute
+// "cfg_mtu", keeping config state indexable next to the native attributes
+// without colliding with them.
+const ConfigAttrPrefix = "cfg_"
+
+// Drift is one difference between a fleet's declared state and an
+// inventory element's observed state: the change the reconciler must drive
+// to converge.
+type Drift struct {
+	// Element is the inventory element id the drift was observed on.
+	Element string `json:"element"`
+	// Type classifies the change needed to resolve the drift.
+	Type changelog.ChangeType `json:"type"`
+	// Attr is the inventory attribute that is out of spec (sw_version or a
+	// ConfigAttrPrefix-ed config key).
+	Attr string `json:"attr"`
+	// From is the observed value, To the declared one.
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// DiffFleet compares a fleet's declared state against the live inventory
+// and returns the drifts, ordered by (element, attribute) for determinism.
+// Selectors that match nothing are errors, not empty diffs: a declared
+// fleet over an unknown market is an operator mistake the status should
+// surface, never a vacuous "in sync".
+func DiffFleet(spec Spec, inv *inventory.Inventory) ([]Drift, error) {
+	ids := inv.ByAttr(inventory.AttrNFType, spec.NFType)
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("reconcile: fleet %q selects unknown nf_type %q", spec.Name, spec.NFType)
+	}
+	if spec.Market != "" && len(inv.ByAttr(inventory.AttrMarket, spec.Market)) == 0 {
+		return nil, fmt.Errorf("reconcile: fleet %q selects unknown market %q", spec.Name, spec.Market)
+	}
+	cfgKeys := make([]string, 0, len(spec.Config))
+	for k := range spec.Config {
+		cfgKeys = append(cfgKeys, k)
+	}
+	sort.Strings(cfgKeys)
+	var drifts []Drift
+	for _, id := range ids {
+		e, ok := inv.Get(id)
+		if !ok {
+			continue
+		}
+		if spec.Market != "" {
+			if m, _ := e.Attr(inventory.AttrMarket); m != spec.Market {
+				continue
+			}
+		}
+		if spec.SWVersion != "" {
+			cur, _ := e.Attr(inventory.AttrSWVersion)
+			if CompareVersions(cur, spec.SWVersion) < 0 {
+				drifts = append(drifts, Drift{
+					Element: id, Type: changelog.SoftwareUpgrade,
+					Attr: inventory.AttrSWVersion, From: cur, To: spec.SWVersion,
+				})
+			}
+		}
+		for _, k := range cfgKeys {
+			want := spec.Config[k]
+			cur, _ := e.Attr(ConfigAttrPrefix + k)
+			if cur != want {
+				drifts = append(drifts, Drift{
+					Element: id, Type: changelog.ConfigChange,
+					Attr: ConfigAttrPrefix + k, From: cur, To: want,
+				})
+			}
+		}
+	}
+	sort.Slice(drifts, func(i, j int) bool {
+		if drifts[i].Element != drifts[j].Element {
+			return drifts[i].Element < drifts[j].Element
+		}
+		return drifts[i].Attr < drifts[j].Attr
+	})
+	return drifts, nil
+}
+
+// CompareVersions orders two software versions: -1 when a < b, 0 when
+// equal, +1 when a > b. Versions are dot-separated components with an
+// optional leading "v"; numeric components compare numerically ("2.10" >
+// "2.4"), non-numeric ones lexically, and missing components count as
+// zero ("2" == "2.0"). This gives declared states their "at least this
+// version" semantics: an element already past the target is not drifted.
+func CompareVersions(a, b string) int {
+	as := strings.Split(strings.TrimPrefix(strings.TrimPrefix(a, "v"), "V"), ".")
+	bs := strings.Split(strings.TrimPrefix(strings.TrimPrefix(b, "v"), "V"), ".")
+	for i := 0; i < len(as) || i < len(bs); i++ {
+		av, bv := "0", "0"
+		if i < len(as) {
+			av = as[i]
+		}
+		if i < len(bs) {
+			bv = bs[i]
+		}
+		an, aerr := strconv.Atoi(av)
+		bn, berr := strconv.Atoi(bv)
+		switch {
+		case aerr == nil && berr == nil:
+			if an != bn {
+				if an < bn {
+					return -1
+				}
+				return 1
+			}
+		default:
+			if av != bv {
+				if av < bv {
+					return -1
+				}
+				return 1
+			}
+		}
+	}
+	return 0
+}

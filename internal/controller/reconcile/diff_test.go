@@ -1,0 +1,161 @@
+package reconcile
+
+import (
+	"strings"
+	"testing"
+
+	"cornet/internal/changelog"
+	"cornet/internal/inventory"
+)
+
+func testInv(t *testing.T) *inventory.Inventory {
+	t.Helper()
+	inv := inventory.New()
+	add := func(id, nfType, market, sw string, cfg map[string]string) {
+		e := &inventory.Element{ID: id, Attributes: map[string]string{
+			inventory.AttrNFType:    nfType,
+			inventory.AttrMarket:    market,
+			inventory.AttrSWVersion: sw,
+		}}
+		for k, v := range cfg {
+			e.Attributes[ConfigAttrPrefix+k] = v
+		}
+		inv.MustAdd(e)
+	}
+	add("vgw-000", "vGW", "dfw", "v1", nil)
+	add("vgw-001", "vGW", "dfw", "v2.4", map[string]string{"mtu": "9000"})
+	add("vgw-002", "vGW", "nyc", "v2.10", nil)
+	add("vce-000", "vCE", "dfw", "v1", nil)
+	return inv
+}
+
+func TestDiffFleet(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    Spec
+		want    []Drift
+		wantErr string
+	}{
+		{
+			name: "no drift",
+			spec: Spec{Name: "f", NFType: "vGW", Market: "nyc", SWVersion: "v2.4"},
+			want: nil, // v2.10 >= v2.4: numeric component compare, not lexical
+		},
+		{
+			name: "version drift",
+			spec: Spec{Name: "f", NFType: "vGW", SWVersion: "v2.4"},
+			want: []Drift{{
+				Element: "vgw-000", Type: changelog.SoftwareUpgrade,
+				Attr: inventory.AttrSWVersion, From: "v1", To: "v2.4",
+			}},
+		},
+		{
+			name: "config drift",
+			spec: Spec{Name: "f", NFType: "vGW", Market: "dfw", Config: map[string]string{"mtu": "9000", "qos": "gold"}},
+			want: []Drift{
+				{Element: "vgw-000", Type: changelog.ConfigChange, Attr: "cfg_mtu", From: "", To: "9000"},
+				{Element: "vgw-000", Type: changelog.ConfigChange, Attr: "cfg_qos", From: "", To: "gold"},
+				{Element: "vgw-001", Type: changelog.ConfigChange, Attr: "cfg_qos", From: "", To: "gold"},
+			},
+		},
+		{
+			name: "version and config drift on one element",
+			spec: Spec{Name: "f", NFType: "vGW", Market: "dfw", SWVersion: "v3", Config: map[string]string{"mtu": "9000"}},
+			want: []Drift{
+				{Element: "vgw-000", Type: changelog.ConfigChange, Attr: "cfg_mtu", From: "", To: "9000"},
+				{Element: "vgw-000", Type: changelog.SoftwareUpgrade, Attr: inventory.AttrSWVersion, From: "v1", To: "v3"},
+				{Element: "vgw-001", Type: changelog.SoftwareUpgrade, Attr: inventory.AttrSWVersion, From: "v2.4", To: "v3"},
+			},
+		},
+		{
+			name:    "unknown market",
+			spec:    Spec{Name: "f", NFType: "vGW", Market: "atlantis", SWVersion: "v2"},
+			wantErr: "unknown market",
+		},
+		{
+			name:    "unknown nf type",
+			spec:    Spec{Name: "f", NFType: "vSPGW", SWVersion: "v2"},
+			wantErr: "unknown nf_type",
+		},
+	}
+	inv := testInv(t)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := DiffFleet(tc.spec, inv)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d drifts %+v, want %d", len(got), got, len(tc.want))
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("drift[%d] = %+v, want %+v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestCompareVersions(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"v1", "v2", -1},
+		{"v2", "v2", 0},
+		{"2", "v2.0", 0},
+		{"v2.10", "v2.4", 1}, // numeric, not lexical
+		{"2.4", "2.4.1", -1},
+		{"", "v1", -1},
+		{"v1.beta", "v1.alpha", 1}, // non-numeric components compare lexically
+	}
+	for _, tc := range cases {
+		if got := CompareVersions(tc.a, tc.b); got != tc.want {
+			t.Errorf("CompareVersions(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestStoreGenerationAndNotify(t *testing.T) {
+	s := NewStore()
+	var notified []string
+	s.Subscribe(func(name string) { notified = append(notified, name) })
+	spec := Spec{Name: "f1", NFType: "vGW", SWVersion: "v2"}
+	f, err := s.Apply(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Generation != 1 {
+		t.Fatalf("new fleet generation = %d, want 1", f.Generation)
+	}
+	// Identical re-apply: no bump, no notify.
+	f, _ = s.Apply(spec)
+	if f.Generation != 1 {
+		t.Fatalf("idempotent apply bumped generation to %d", f.Generation)
+	}
+	// Spec change bumps.
+	spec.SWVersion = "v3"
+	f, _ = s.Apply(spec)
+	if f.Generation != 2 {
+		t.Fatalf("changed apply generation = %d, want 2", f.Generation)
+	}
+	if len(notified) != 2 {
+		t.Fatalf("notified %v, want 2 notifications (create + change)", notified)
+	}
+	if !s.Delete("f1") {
+		t.Fatal("Delete(f1) = false")
+	}
+	if len(notified) != 3 {
+		t.Fatalf("delete did not notify: %v", notified)
+	}
+	if _, err := s.Apply(Spec{Name: "bad", NFType: "vGW"}); err == nil {
+		t.Fatal("spec without desired state accepted")
+	}
+}

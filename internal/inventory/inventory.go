@@ -140,6 +140,57 @@ func (inv *Inventory) indexAdd(attr, val, id string) {
 	byVal[val] = append(byVal[val], id)
 }
 
+func (inv *Inventory) indexRemove(attr, val, id string) {
+	byVal := inv.index[attr]
+	ids := byVal[val]
+	for i, got := range ids {
+		if got == id {
+			byVal[val] = append(ids[:i:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(byVal[val]) == 0 {
+		delete(byVal, val)
+		if len(byVal) == 0 {
+			delete(inv.index, attr)
+		}
+	}
+}
+
+// SetAttr updates one single-valued attribute of an element and maintains
+// the secondary indexes. The mutation is copy-on-write: the stored element
+// is replaced by a modified clone, so *Element pointers handed out earlier
+// (by Get or Filter callbacks) stay immutable snapshots that concurrent
+// readers may keep using without synchronization. This is the write path
+// the reconciliation controller uses to record applied changes, so it must
+// be safe against planner and verifier reads racing with it.
+func (inv *Inventory) SetAttr(id, attr, value string) error {
+	if attr == AttrCommonID {
+		return fmt.Errorf("inventory: cannot change element id via SetAttr")
+	}
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	e, ok := inv.elements[id]
+	if !ok {
+		return fmt.Errorf("inventory: unknown element %q", id)
+	}
+	old, had := e.Attributes[attr]
+	if had && old == value {
+		return nil
+	}
+	next := e.Clone()
+	if next.Attributes == nil {
+		next.Attributes = make(map[string]string, 1)
+	}
+	next.Attributes[attr] = value
+	inv.elements[id] = next
+	if had {
+		inv.indexRemove(attr, old, id)
+	}
+	inv.indexAdd(attr, value, id)
+	return nil
+}
+
 // MustAdd is Add that panics on error; convenient in generators and tests.
 func (inv *Inventory) MustAdd(e *Element) {
 	if err := inv.Add(e); err != nil {

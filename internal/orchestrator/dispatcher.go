@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"cornet/internal/controller"
 	"cornet/internal/obs"
 	"cornet/internal/workflow"
 )
@@ -52,6 +53,9 @@ type Result struct {
 // Run executes all scheduled changes slot by slot and returns the results
 // ordered by (timeslot, instance). A context cancellation stops dispatching
 // further slots but lets in-flight workflows finish their current block.
+// The changes of each slot flow through a controller-runtime job pool, so
+// a dispatch batch gets the same bounded workers, queue-depth metrics, and
+// drain semantics as every other execution path.
 func (d *Dispatcher) Run(ctx context.Context, dep DeploymentResolver, changes []ScheduledChange) []Result {
 	bySlot := map[int][]ScheduledChange{}
 	for _, c := range changes {
@@ -63,6 +67,8 @@ func (d *Dispatcher) Run(ctx context.Context, dep DeploymentResolver, changes []
 	}
 	sort.Ints(slots)
 
+	pool := controller.NewPool("dispatch", d.Concurrency)
+	defer pool.Stop()
 	var results []Result
 	var mu sync.Mutex
 	for _, slot := range slots {
@@ -79,15 +85,9 @@ func (d *Dispatcher) Run(ctx context.Context, dep DeploymentResolver, changes []
 		ssp.SetAttr("changes", len(batch))
 		d.Engine.logger().LogAttrs(ctx, slog.LevelInfo, "dispatching timeslot",
 			slog.Int("slot", slot), slog.Int("changes", len(batch)))
-		sem := make(chan struct{}, d.Concurrency)
-		var wg sync.WaitGroup
 		for _, c := range batch {
 			c := c
-			wg.Add(1)
-			sem <- struct{}{}
-			go func() {
-				defer wg.Done()
-				defer func() { <-sem }()
+			pool.Go(slotCtx, func(slotCtx context.Context) {
 				deployment, err := dep(c)
 				var res Result
 				res.Instance, res.Timeslot = c.Instance, c.Timeslot
@@ -112,9 +112,11 @@ func (d *Dispatcher) Run(ctx context.Context, dep DeploymentResolver, changes []
 				mu.Lock()
 				results = append(results, res)
 				mu.Unlock()
-			}()
+			})
 		}
-		wg.Wait()
+		// The slot boundary is a barrier: the planner's concurrency
+		// constraint only holds within a maintenance window.
+		pool.Wait()
 		ssp.End()
 	}
 	sort.Slice(results, func(i, j int) bool {

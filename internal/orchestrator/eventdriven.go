@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"cornet/internal/controller"
 	"cornet/internal/orchestrator/resilience"
 )
 
@@ -110,20 +111,28 @@ type EventExecution struct {
 // event budget is exhausted. Unlike the workflow engine there is no
 // explicit end state: termination is emergent from the policy set, which
 // is exactly the state-management difficulty the paper calls out.
+//
+// The cascade runs on a controller-runtime FIFO work queue (non-deduping:
+// the same topic emitted twice must fire its policies twice), replacing
+// the slice-based event loop this engine used to carry.
 func (e *EventEngine) Run(ctx context.Context, start Event) (*EventExecution, error) {
 	exec := &EventExecution{Status: StatusRunning, State: map[string]string{}}
 	for k, v := range start.Data {
 		exec.State[k] = v
 	}
-	queue := []string{start.Topic}
+	queue := controller.NewFIFO("events")
+	defer queue.ShutDown()
+	queue.Add(start.Topic)
 	events := 0
-	for len(queue) > 0 {
+	for {
+		topic, ok := queue.TryGet()
+		if !ok {
+			break
+		}
 		if err := ctx.Err(); err != nil {
 			exec.Status = StatusFailure
 			return exec, fmt.Errorf("orchestrator: event run halted: %w", err)
 		}
-		topic := queue[0]
-		queue = queue[1:]
 		switch topic {
 		case "done":
 			exec.Status = StatusSuccess
@@ -145,10 +154,11 @@ func (e *EventEngine) Run(ctx context.Context, start Event) (*EventExecution, er
 			emitted, tr := e.fire(ctx, p, exec)
 			exec.Trace = append(exec.Trace, tr)
 			if emitted != "" {
-				queue = append(queue, emitted)
+				queue.Add(emitted)
 			}
 		}
 		_ = matched // unmatched topics simply die out (another fall-out hazard)
+		queue.Done(topic)
 	}
 	// Queue drained without reaching "done": the cascade fizzled.
 	exec.Status = StatusFailure

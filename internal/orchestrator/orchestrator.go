@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"cornet/internal/catalog"
+	"cornet/internal/controller"
 	"cornet/internal/obs"
 	"cornet/internal/orchestrator/resilience"
 	"cornet/internal/workflow"
@@ -197,8 +198,16 @@ type Engine struct {
 	// Sleep waits between retry attempts; tests inject a fake to make
 	// backoff instantaneous. Defaults to a context-aware timer sleep.
 	Sleep func(context.Context, time.Duration) error
+	// Concurrency bounds how many workflow executions run at once: every
+	// execution — synchronous Execute calls included — goes through the
+	// engine's controller-runtime work queue, and excess executions wait
+	// their turn. 0 means the default bound (32). Set it before the first
+	// execution; it is not consulted afterwards.
+	Concurrency int
 
-	jitter *jitterRand
+	jitter   *jitterRand
+	poolOnce sync.Once
+	pool     *controller.Pool
 }
 
 // NewEngine returns an engine dispatching through the given invoker. The
@@ -241,28 +250,57 @@ func (eng *Engine) EnableBreakers(cfg resilience.BreakerConfig) *resilience.Brea
 // ErrHalted is returned when the context is cancelled mid-execution.
 var ErrHalted = errors.New("orchestrator: execution halted")
 
+// execPool lazily builds the engine's execution pool — the controller-
+// runtime work queue every workflow execution dispatches through, giving
+// the engine bounded concurrency, queue-depth metrics, and a graceful
+// drain in place of the unbounded per-Start goroutines it used to spawn.
+func (eng *Engine) execPool() *controller.Pool {
+	eng.poolOnce.Do(func() {
+		n := eng.Concurrency
+		if n <= 0 {
+			n = 32
+		}
+		eng.pool = controller.NewPool("orchestrator", n)
+	})
+	return eng.pool
+}
+
+// Shutdown drains the engine's execution queue and releases its workers;
+// queued executions still run to completion first. The engine must not be
+// used after Shutdown (late executions run inline on the caller).
+func (eng *Engine) Shutdown() {
+	eng.execPool().Stop()
+}
+
 // Execute runs a deployed workflow against inputs. The required workflow
-// inputs must be present in inputs. Execution is synchronous; use
-// goroutines plus Execution.Pause for interactive control. The returned
-// Execution is also usable (for Pause) while Execute runs if obtained via
-// Start.
+// inputs must be present in inputs. The call is synchronous but the
+// execution itself runs through the engine's work queue, so it shares the
+// Concurrency bound with Start; use Start plus Execution.Pause for
+// interactive control.
 func (eng *Engine) Execute(ctx context.Context, dep *workflow.Deployment, inputs map[string]string) (*Execution, error) {
 	exec, run := eng.prepare(dep, inputs)
 	if run == nil {
 		return exec, errors.New(exec.Err)
 	}
-	run(ctx)
-	switch exec.Status {
+	done := make(chan struct{})
+	eng.execPool().Go(ctx, func(ctx context.Context) {
+		defer close(done)
+		run(ctx)
+	})
+	<-done
+	switch st, errMsg := exec.snapshotStatus(); st {
 	case StatusFailure:
-		return exec, fmt.Errorf("orchestrator: workflow %s on %s failed: %s", exec.Workflow, exec.Instance, exec.Err)
+		return exec, fmt.Errorf("orchestrator: workflow %s on %s failed: %s", exec.Workflow, exec.Instance, errMsg)
 	case StatusRolledBack:
-		return exec, fmt.Errorf("orchestrator: workflow %s on %s rolled back: %s", exec.Workflow, exec.Instance, exec.Err)
+		return exec, fmt.Errorf("orchestrator: workflow %s on %s rolled back: %s", exec.Workflow, exec.Instance, errMsg)
 	}
 	return exec, nil
 }
 
 // Start begins an asynchronous execution and returns immediately with the
-// live Execution handle plus a done channel.
+// live Execution handle plus a done channel. The execution is enqueued on
+// the engine's controller-runtime work queue and runs when a worker (see
+// Concurrency) frees up.
 func (eng *Engine) Start(ctx context.Context, dep *workflow.Deployment, inputs map[string]string) (*Execution, <-chan struct{}) {
 	exec, run := eng.prepare(dep, inputs)
 	done := make(chan struct{})
@@ -270,10 +308,10 @@ func (eng *Engine) Start(ctx context.Context, dep *workflow.Deployment, inputs m
 		close(done)
 		return exec, done
 	}
-	go func() {
+	eng.execPool().Go(ctx, func(ctx context.Context) {
 		defer close(done)
 		run(ctx)
-	}()
+	})
 	return exec, done
 }
 

@@ -1,0 +1,57 @@
+package testbed
+
+import (
+	"sort"
+
+	"cornet/internal/inventory"
+)
+
+// All returns the testbed's NFs sorted by id.
+func (tb *Testbed) All() []*NF {
+	tb.mu.RLock()
+	out := make([]*NF, 0, len(tb.nfs))
+	for _, nf := range tb.nfs {
+		out = append(out, nf)
+	}
+	tb.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ConfigMap returns a copy of the NF's configuration.
+func (n *NF) ConfigMap() map[string]string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]string, len(n.config))
+	for k, v := range n.config {
+		out[k] = v
+	}
+	return out
+}
+
+// MirrorInventory snapshots the testbed's NFs into a fresh inventory: one
+// element per NF carrying nf_type, sw_version (the active version), and
+// every config key under the "cfg_" prefix the reconciliation differ
+// expects. The optional extra callback contributes additional attributes
+// per NF (market assignment, EMS homing, ...). The mirror is the system of
+// record the declarative controller diffs against; after startup the
+// reconciler keeps it current as changes apply.
+func MirrorInventory(tb *Testbed, extra func(*NF) map[string]string) *inventory.Inventory {
+	inv := inventory.New()
+	for _, nf := range tb.All() {
+		e := &inventory.Element{ID: nf.ID, Attributes: map[string]string{
+			inventory.AttrNFType:    nf.Type,
+			inventory.AttrSWVersion: nf.ActiveVersion(),
+		}}
+		for k, v := range nf.ConfigMap() {
+			e.Attributes["cfg_"+k] = v
+		}
+		if extra != nil {
+			for k, v := range extra(nf) {
+				e.Attributes[k] = v
+			}
+		}
+		inv.MustAdd(e)
+	}
+	return inv
+}
