@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check race bench cover check doccheck
+.PHONY: all build test vet fmt-check race bench bench-serve cover check doccheck
 
 all: check
 
@@ -35,7 +35,8 @@ race:
 doccheck: vet fmt-check
 	$(GO) run ./tools/doccheck ./internal/orchestrator ./internal/orchestrator/resilience \
 		./internal/workflow ./internal/testbed \
-		./internal/controller ./internal/controller/reconcile ./internal/changelog
+		./internal/controller ./internal/controller/reconcile ./internal/changelog \
+		./internal/plan/serve ./internal/plan/cache
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
@@ -44,5 +45,12 @@ cover:
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkPlannerScale -benchtime 1x .
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/plan/...
+
+# Quick serving-layer smoke: cache hit speedup, warm-start seeding, and
+# overload shedding against their acceptance bars. Overwrites
+# BENCH_serve.json in the working tree (quick numbers; don't commit them
+# as the baseline — see EXPERIMENTS.md for the refresh procedure).
+bench-serve:
+	$(GO) run ./cmd/cornet-bench -exp bench-serve -quick
 
 check: build vet fmt-check test race doccheck

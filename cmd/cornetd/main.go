@@ -12,6 +12,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +31,8 @@ import (
 	"cornet/internal/obs"
 	"cornet/internal/orchestrator/resilience"
 	"cornet/internal/plan/engine"
+	"cornet/internal/plan/intent"
+	planserve "cornet/internal/plan/serve"
 	"cornet/internal/testbed"
 	"cornet/internal/workflow"
 )
@@ -40,6 +43,9 @@ type server struct {
 	net *netgen.Network
 	// planTimeout bounds each /api/plan request's schedule discovery.
 	planTimeout time.Duration
+	// planSrv is the multi-tenant serving layer behind /api/plan: plan
+	// cache, singleflight, warm-start re-planning, and admission control.
+	planSrv *planserve.Server
 
 	// fleetInv mirrors the testbed into an inventory the declarative
 	// reconciler diffs against and writes applied changes back to.
@@ -59,15 +65,19 @@ type server struct {
 // newServer assembles a server around a framework; the orchestrator engine
 // inherits the server logger so workflow executions emit per-block records.
 func newServer(f *core.Framework, tb *testbed.Testbed, net *netgen.Network,
-	planTimeout time.Duration, log *slog.Logger) *server {
+	planTimeout time.Duration, planCfg planserve.Config, log *slog.Logger) *server {
 	if log == nil {
 		log = obs.NopLogger()
 	}
 	if f.Engine != nil {
 		f.Engine.Log = log
 	}
+	if planCfg.Admission.Log == nil {
+		planCfg.Admission.Log = log
+	}
 	s := &server{
 		f: f, tb: tb, net: net, planTimeout: planTimeout,
+		planSrv:     planserve.New(f, planCfg),
 		log:         log,
 		httpm:       obs.NewHTTPMetrics(obs.Default),
 		started:     time.Now(),
@@ -87,13 +97,21 @@ func newServer(f *core.Framework, tb *testbed.Testbed, net *netgen.Network,
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		vnfs         = flag.Int("vnfs", 4, "testbed instances per vNF type")
-		seed         = flag.Int64("seed", 1, "generator seed")
-		planTimeout  = flag.Duration("plan-timeout", 30*time.Second, "per-request schedule discovery deadline (0 = unbounded)")
-		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
-		logLevel     = flag.String("log-level", "info", "log level (debug|info|warn|error)")
-		logFormat    = flag.String("log-format", "text", "log format (text|json)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		vnfs        = flag.Int("vnfs", 4, "testbed instances per vNF type")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		planTimeout = flag.Duration("plan-timeout", 30*time.Second, "per-request schedule discovery deadline (0 = unbounded)")
+
+		// Serving-layer knobs: plan cache, admission control, warm starts.
+		planCacheSize   = flag.Int("plan-cache-size", 512, "plan cache capacity in entries (<0 disables)")
+		planCacheTTL    = flag.Duration("plan-cache-ttl", 10*time.Minute, "plan cache entry lifetime (<0 = never expires)")
+		planQueueLimit  = flag.Int("plan-queue-limit", 64, "admission queue bound across tenants; beyond it requests are shed with 503")
+		planWorkers     = flag.Int("plan-workers", 2, "concurrent plan solves")
+		planTenantQuota = flag.Int("plan-tenant-quota", 0, "per-tenant admission queue bound (0 = the global limit)")
+		planWarmDelta   = flag.Int("plan-warm-delta", 8, "max item-level delta against a cached plan that still warm-starts the solve (<0 disables)")
+		drainTimeout    = flag.Duration("drain-timeout", 15*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
+		logLevel        = flag.String("log-level", "info", "log level (debug|info|warn|error)")
+		logFormat       = flag.String("log-format", "text", "log format (text|json)")
 
 		// Execution-policy defaults applied to every building block; task
 		// nodes override them via their workflow JSON policy.
@@ -159,7 +177,16 @@ func main() {
 		"eNodeB": catalog.ImplVendorCLI, "gNodeB": catalog.ImplVendorCLI,
 	}, opts...)
 
-	s := newServer(f, tb, net, *planTimeout, logger)
+	s := newServer(f, tb, net, *planTimeout, planserve.Config{
+		CacheSize: *planCacheSize,
+		CacheTTL:  *planCacheTTL,
+		WarmDelta: *planWarmDelta,
+		Admission: planserve.AdmitConfig{
+			Workers:     *planWorkers,
+			QueueLimit:  *planQueueLimit,
+			TenantQuota: *planTenantQuota,
+		},
+	}, logger)
 	obs.Default.GaugeFunc("cornet_uptime_seconds",
 		"Seconds since cornetd started.",
 		func() float64 { return time.Since(s.started).Seconds() })
@@ -281,18 +308,78 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// planQueryParams is the /api/plan query allowlist; anything else is a
+// 400 so typos (parallellism=8) fail loudly instead of silently planning
+// with defaults.
+var planQueryParams = map[string]bool{
+	"backend": true, "timeout": true, "parallelism": true,
+	"trace": true, "tenant": true,
+}
+
+// maxPlanParallelism caps the per-request search worker count: beyond
+// any plausible core count, larger values only let one tenant spawn
+// unbounded goroutines.
+const maxPlanParallelism = 256
+
+// maxPlanBody caps the intent document size.
+const maxPlanBody = 4 << 20
+
+// tenantOK validates a tenant identifier: 1-64 chars of [A-Za-z0-9._-].
+func tenantOK(t string) bool {
+	if len(t) == 0 || len(t) > 64 {
+		return false
+	}
+	for _, c := range t {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// planTenant resolves the requesting tenant from the X-Tenant header or
+// the ?tenant query parameter (header wins), defaulting to "default".
+func planTenant(r *http.Request) (string, error) {
+	t := r.Header.Get("X-Tenant")
+	if t == "" {
+		t = r.URL.Query().Get("tenant")
+	}
+	if t == "" {
+		return "default", nil
+	}
+	if !tenantOK(t) {
+		return "", fmt.Errorf("bad tenant %q: want 1-64 chars of [A-Za-z0-9._-]", t)
+	}
+	return t, nil
+}
+
 // handlePlan accepts the Listing 1 intent document and plans over the
-// server's synthetic RAN inventory. The optional ?backend= query parameter
-// selects the planning policy (auto | solver | heuristic | portfolio); the
-// optional ?timeout= parameter tightens the server's -plan-timeout for
-// this request; the optional ?parallelism= parameter sets the search
-// worker count per backend (0 = all CPUs, 1 = sequential). Discovery runs
-// under a context derived from the request, so a disconnecting client
-// aborts the search.
+// server's synthetic RAN inventory through the serving layer: canonical
+// plan cache, singleflight, warm-start re-planning, and tenant-fair
+// admission (503 + Retry-After under overload). The optional ?backend=
+// query parameter selects the planning policy (auto | solver | heuristic
+// | portfolio); ?timeout= tightens the server's -plan-timeout for this
+// request; ?parallelism= sets the search worker count per backend (0 =
+// all CPUs, 1 = sequential); the tenant comes from the X-Tenant header
+// or ?tenant=. Discovery runs under a context derived from the request,
+// so a disconnecting client aborts the search.
 func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
+	}
+	for param, vals := range r.URL.Query() {
+		if !planQueryParams[param] {
+			http.Error(w, fmt.Sprintf("unknown query parameter %q (valid: backend, timeout, parallelism, trace, tenant)", param), http.StatusBadRequest)
+			return
+		}
+		if len(vals) > 1 {
+			http.Error(w, fmt.Sprintf("query parameter %q given %d times", param, len(vals)), http.StatusBadRequest)
+			return
+		}
 	}
 	policy, err := engine.ParsePolicy(r.URL.Query().Get("backend"))
 	if err != nil {
@@ -306,19 +393,38 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, fmt.Sprintf("bad timeout: %v", err), http.StatusBadRequest)
 			return
 		}
+		if d <= 0 {
+			http.Error(w, fmt.Sprintf("bad timeout %q: want a positive duration", raw), http.StatusBadRequest)
+			return
+		}
 		timeout = d
 	}
 	parallelism := 0
 	if raw := r.URL.Query().Get("parallelism"); raw != "" {
 		parallelism, err = strconv.Atoi(raw)
-		if err != nil || parallelism < 0 {
-			http.Error(w, fmt.Sprintf("bad parallelism %q: want a non-negative integer", raw), http.StatusBadRequest)
+		if err != nil || parallelism < 0 || parallelism > maxPlanParallelism {
+			http.Error(w, fmt.Sprintf("bad parallelism %q: want an integer in 0..%d", raw, maxPlanParallelism), http.StatusBadRequest)
 			return
 		}
 	}
-	doc, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+	tenant, err := planTenant(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	doc, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPlanBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("intent document exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req, err := intent.Parse(doc)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
 	targets := s.net.Inv.Filter(func(e *inventory.Element) bool {
@@ -335,16 +441,27 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("trace") == "1" {
 		ctx, root = obs.StartTrace(ctx, "http.plan")
 	}
-	res, err := s.f.PlanScheduleContext(ctx, doc, s.net.Inv.Subset(targets), core.PlanOptions{
+	served, err := s.planSrv.Plan(ctx, tenant, req, s.net.Inv.Subset(targets), core.PlanOptions{
 		Topology:    s.net.Topo,
 		Policy:      policy,
 		Parallelism: parallelism,
 	})
 	root.End()
 	if err != nil {
+		var shed *planserve.ShedError
+		if errors.As(err, &shed) {
+			w.Header().Set("Retry-After", strconv.Itoa(int(shed.RetryAfter.Seconds()+0.5)))
+			http.Error(w, shed.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		if errors.Is(err, planserve.ErrStopped) {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
+	res := served.Result
 	type backendStats struct {
 		Backend        string `json:"backend"`
 		WallNS         int64  `json:"wall_ns"`
@@ -367,16 +484,27 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			TimedOut: st.TimedOut, Winner: st.Winner, Err: st.Err,
 		})
 	}
+	type cacheInfo struct {
+		Hit    bool   `json:"hit"`
+		Warm   bool   `json:"warm,omitempty"`
+		Shared bool   `json:"shared,omitempty"`
+		Key    string `json:"key,omitempty"`
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Method     string          `json:"method"`
 		Makespan   int             `json:"makespan"`
 		Conflicts  int             `json:"conflicts"`
 		TimedOut   bool            `json:"timed_out,omitempty"`
+		Tenant     string          `json:"tenant"`
+		Cache      cacheInfo       `json:"cache"`
+		WaitNS     int64           `json:"admission_wait_ns"`
 		Stats      []backendStats  `json:"stats"`
 		Assignment map[string]int  `json:"assignment"`
 		Leftovers  []string        `json:"leftovers,omitempty"`
 		Trace      *obs.SpanExport `json:"trace,omitempty"`
-	}{res.Method, res.Makespan, res.Conflicts, res.TimedOut, stats, res.Assignment, res.Leftovers, root.Export()})
+	}{res.Method, res.Makespan, res.Conflicts, res.TimedOut,
+		tenant, cacheInfo{Hit: served.CacheHit, Warm: served.Warm, Shared: served.Shared, Key: served.Key},
+		int64(served.Wait), stats, res.Assignment, res.Leftovers, root.Export()})
 }
 
 func decode(r *http.Request, v any) error {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"cornet/internal/core"
 	"cornet/internal/inventory"
 	"cornet/internal/netgen"
+	planserve "cornet/internal/plan/serve"
 	"cornet/internal/testbed"
 	"cornet/internal/workflow"
 )
@@ -28,9 +30,10 @@ func testServer(t *testing.T) (*server, *httptest.Server) {
 		"vCE": catalog.ImplScript, "vGW": catalog.ImplAnsible, "portal": catalog.ImplAnsible,
 		"CPE": catalog.ImplAnsible, "vCOM": catalog.ImplAnsible, "vRAR": catalog.ImplAnsible,
 	}, core.WithInvoker(tb))
-	s := newServer(f, tb, net, 0, nil)
+	s := newServer(f, tb, net, 0, planserve.Config{}, nil)
 	srv := httptest.NewServer(newMux(s))
 	t.Cleanup(srv.Close)
+	t.Cleanup(s.planSrv.Stop)
 	return s, srv
 }
 
@@ -241,5 +244,179 @@ func TestMethodGuards(t *testing.T) {
 		if resp.StatusCode != http.StatusMethodNotAllowed {
 			t.Fatalf("GET %s = %s", path, resp.Status)
 		}
+	}
+}
+
+func TestPlanEndpointValidation(t *testing.T) {
+	_, srv := testServer(t)
+	doc := `{
+	  "scheduling_window": {"start": "2022-03-01 00:00:00", "end": "2022-03-15 00:00:00",
+	    "granularity": {"metric":"day","value":1}},
+	  "schedulable_attribute": "common_id",
+	  "constraints": [
+	    {"name": "concurrency", "base_attribute": "common_id", "default_capacity": 30}
+	  ]
+	}`
+	cases := []struct {
+		name, query string
+		status      int
+	}{
+		{"unknown param", "?parallellism=8", http.StatusBadRequest},
+		{"duplicated param", "?backend=auto&backend=solver", http.StatusBadRequest},
+		{"zero timeout", "?timeout=0s", http.StatusBadRequest},
+		{"negative timeout", "?timeout=-1s", http.StatusBadRequest},
+		{"parallelism over cap", "?parallelism=300", http.StatusBadRequest},
+		{"bad tenant", "?tenant=no/slash", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(srv.URL+"/api/plan"+tc.query, "application/json", strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %s, want %d", tc.name, resp.Status, tc.status)
+		}
+	}
+	// A bad X-Tenant header is also a 400, even with a clean query.
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/api/plan", strings.NewReader(doc))
+	req.Header.Set("X-Tenant", strings.Repeat("x", 65))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("long tenant header status = %s", resp.Status)
+	}
+	// An oversized intent document is a 413.
+	big := bytes.Repeat([]byte{'x'}, (4<<20)+1)
+	resp2, err := http.Post(srv.URL+"/api/plan", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status = %s", resp2.Status)
+	}
+}
+
+func TestPlanEndpointCacheAndTenant(t *testing.T) {
+	_, srv := testServer(t)
+	doc := `{
+	  "scheduling_window": {"start": "2022-03-01 00:00:00", "end": "2022-03-15 00:00:00",
+	    "granularity": {"metric":"day","value":1}},
+	  "schedulable_attribute": "common_id",
+	  "constraints": [
+	    {"name": "concurrency", "base_attribute": "common_id", "default_capacity": 30}
+	  ]
+	}`
+	post := func(tenant string) (int, struct {
+		Tenant string `json:"tenant"`
+		Cache  struct {
+			Hit bool   `json:"hit"`
+			Key string `json:"key"`
+		} `json:"cache"`
+	}) {
+		req, _ := http.NewRequest(http.MethodPost, srv.URL+"/api/plan?backend=solver", strings.NewReader(doc))
+		if tenant != "" {
+			req.Header.Set("X-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Tenant string `json:"tenant"`
+			Cache  struct {
+				Hit bool   `json:"hit"`
+				Key string `json:"key"`
+			} `json:"cache"`
+		}
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, out
+	}
+	status, first := post("ops-team")
+	if status != http.StatusOK {
+		t.Fatalf("cold plan status = %d", status)
+	}
+	if first.Tenant != "ops-team" || first.Cache.Hit || first.Cache.Key == "" {
+		t.Fatalf("cold plan = %+v", first)
+	}
+	// The identical intent from another tenant hits the shared cache.
+	status, second := post("")
+	if status != http.StatusOK {
+		t.Fatalf("hot plan status = %d", status)
+	}
+	if second.Tenant != "default" || !second.Cache.Hit || second.Cache.Key != first.Cache.Key {
+		t.Fatalf("hot plan = %+v (cold key %s)", second, first.Cache.Key)
+	}
+}
+
+func TestPlanEndpointShedsWithRetryAfter(t *testing.T) {
+	tb := testbed.New(1)
+	testbed.PopulateVNFs(tb, 2)
+	net, err := netgen.Cellular(netgen.DefaultCellular(120, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := core.New(map[string]catalog.ImplKind{"vCE": catalog.ImplScript}, core.WithInvoker(tb))
+	s := newServer(f, tb, net, 0, planserve.Config{
+		Admission: planserve.AdmitConfig{Workers: 1, QueueLimit: 1},
+	}, nil)
+	srv := httptest.NewServer(newMux(s))
+	t.Cleanup(srv.Close)
+	t.Cleanup(s.planSrv.Stop)
+
+	// Distinct capacities defeat the cache, so every request needs a solve;
+	// with one worker and a one-deep queue most of a 12-way burst must shed.
+	const n = 12
+	type result struct {
+		status     int
+		retryAfter string
+	}
+	results := make(chan result, n)
+	for i := 0; i < n; i++ {
+		go func(capn int) {
+			doc := fmt.Sprintf(`{
+			  "scheduling_window": {"start": "2022-03-01 00:00:00", "end": "2022-03-15 00:00:00",
+			    "granularity": {"metric":"day","value":1}},
+			  "schedulable_attribute": "common_id",
+			  "constraints": [
+			    {"name": "concurrency", "base_attribute": "common_id", "default_capacity": %d}
+			  ]
+			}`, 20+capn)
+			resp, err := http.Post(srv.URL+"/api/plan?backend=solver", "application/json", strings.NewReader(doc))
+			if err != nil {
+				t.Error(err)
+				results <- result{}
+				return
+			}
+			resp.Body.Close()
+			results <- result{resp.StatusCode, resp.Header.Get("Retry-After")}
+		}(i)
+	}
+	served, shed := 0, 0
+	for i := 0; i < n; i++ {
+		r := <-results
+		switch r.status {
+		case http.StatusOK:
+			served++
+		case http.StatusServiceUnavailable:
+			shed++
+			if r.retryAfter == "" {
+				t.Error("503 without Retry-After header")
+			}
+		default:
+			t.Errorf("unexpected status %d", r.status)
+		}
+	}
+	if served == 0 || shed == 0 {
+		t.Fatalf("served=%d shed=%d, want both under overload", served, shed)
 	}
 }

@@ -95,6 +95,9 @@ func serve(s *server, addr string, drain time.Duration) error {
 	// context shuts its queue down, Stop waits out in-flight passes.
 	s.rec.Start(ctx)
 	defer s.rec.Stop()
+	// The plan admission workers drain after the listener: queued plan
+	// requests either finish or fail fast with 503s.
+	defer s.planSrv.Stop()
 
 	srv := &http.Server{Addr: addr, Handler: newMux(s)}
 	errc := make(chan error, 1)

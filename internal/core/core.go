@@ -211,6 +211,11 @@ type PlanOptions struct {
 	// root workers for the solver, restart pool size for the heuristic).
 	// 0 means GOMAXPROCS; 1 forces sequential search.
 	Parallelism int
+	// Warm seeds the solver with a known schedule from a previous solve of
+	// a similar model (item ID -> slot, -1 for leftover): warm-start
+	// re-planning. Ignored by the heuristic backend; an infeasible seed is
+	// ignored by the solver.
+	Warm map[string]int
 }
 
 // PlanSchedule runs the full planning pipeline over a background context.
@@ -278,18 +283,36 @@ func (f *Framework) resolvePolicy(opt PlanOptions, size int) engine.Policy {
 	return policy
 }
 
-// PlanScheduleRequestContext is PlanScheduleContext for a pre-parsed
-// request.
-func (f *Framework) PlanScheduleRequestContext(ctx context.Context, req *intent.Request, inv *inventory.Inventory, opt PlanOptions) (*PlanResult, error) {
-	start := time.Now()
+// PlanBuild bundles the backend representations of one planning request:
+// the engine request (constraint model and/or heuristic instance), the
+// resolved policy, and the translation artifacts needed to interpret a
+// solution. Splitting construction (BuildPlanRequest) from solving
+// (RunPlan) lets the serving layer (internal/plan/serve) fingerprint the
+// translated model for its plan cache before committing to a solve.
+type PlanBuild struct {
+	// Req is the engine request carrying the built representations.
+	Req *engine.Request
+	// Policy is the resolved per-request policy (Threshold already
+	// settled to a concrete backend).
+	Policy engine.Policy
+	// Translation is the intent-to-model translation result (nil when the
+	// policy needs no constraint model).
+	Translation *translate.Result
+	// Slots are the resolved timeslots backing slot indexes.
+	Slots []intent.Timeslot
+}
+
+// BuildPlanRequest resolves the policy and constructs the backend
+// representations it needs: the translated constraint model for the
+// solver/portfolio paths, the Algorithm-1 instance for the heuristic/
+// portfolio paths. The result feeds RunPlan, possibly after the serving
+// layer consulted its plan cache using the model's fingerprint.
+func (f *Framework) BuildPlanRequest(ctx context.Context, req *intent.Request, inv *inventory.Inventory, opt PlanOptions) (*PlanBuild, error) {
 	policy := f.resolvePolicy(opt, inv.Len())
-	ereq := &engine.Request{Size: inv.Len()}
-	var tr *translate.Result
-	var slots []intent.Timeslot
+	b := &PlanBuild{Req: &engine.Request{Size: inv.Len()}, Policy: policy}
 	if policy == engine.ForceSolver || policy == engine.Portfolio {
 		_, tsp := obs.StartSpan(ctx, "plan.translate")
-		var err error
-		tr, err = translate.Translate(req, inv, translate.Options{
+		tr, err := translate.Translate(req, inv, translate.Options{
 			RequireAll: opt.RequireAll,
 			Topology:   opt.Topology,
 		})
@@ -301,8 +324,9 @@ func (f *Framework) PlanScheduleRequestContext(ctx context.Context, req *intent.
 		tsp.SetAttr("items", len(tr.Model.Items))
 		tsp.SetAttr("slots", tr.Model.NumSlots)
 		tsp.End()
-		ereq.Model = tr.Model
-		ereq.Expand = func(s model.Schedule) (map[string]int, []string) {
+		b.Translation = tr
+		b.Req.Model = tr.Model
+		b.Req.Expand = func(s model.Schedule) (map[string]int, []string) {
 			a := tr.Expand(s)
 			assignment := make(map[string]int)
 			for slot, ids := range a.BySlot {
@@ -312,22 +336,34 @@ func (f *Framework) PlanScheduleRequestContext(ctx context.Context, req *intent.
 			}
 			return assignment, a.Leftovers
 		}
-		slots = tr.Slots
+		b.Slots = tr.Slots
 	}
 	if policy == engine.ForceHeuristic || policy == engine.Portfolio {
 		inst, instSlots, err := f.heuristicInstance(req, inv, opt)
 		if err != nil {
 			return nil, err
 		}
-		ereq.Instance = inst
-		if slots == nil {
-			slots = instSlots
+		b.Req.Instance = inst
+		if b.Slots == nil {
+			b.Slots = instSlots
 		}
 	}
-	res, stats, err := f.planner().Plan(ctx, ereq, engine.Options{
-		Policy:         policy,
+	return b, nil
+}
+
+// RunPlan solves a built request on the planning engine and assembles the
+// PlanResult. opt.Warm (when set) seeds the solver backends with the
+// cached incumbent; opt.RenderModel includes the model listing.
+func (f *Framework) RunPlan(ctx context.Context, b *PlanBuild, opt PlanOptions) (*PlanResult, error) {
+	start := time.Now()
+	sopt := f.SolverOptions
+	if len(opt.Warm) > 0 {
+		sopt.WarmSlots = opt.Warm
+	}
+	res, stats, err := f.planner().Plan(ctx, b.Req, engine.Options{
+		Policy:         b.Policy,
 		ScaleThreshold: f.ScaleThreshold,
-		Solver:         f.SolverOptions,
+		Solver:         sopt,
 		Parallelism:    opt.Parallelism,
 	})
 	if err != nil {
@@ -336,7 +372,7 @@ func (f *Framework) PlanScheduleRequestContext(ctx context.Context, req *intent.
 	out := &PlanResult{
 		Assignment: res.Assignment,
 		Leftovers:  res.Leftovers,
-		Slots:      slots,
+		Slots:      b.Slots,
 		Conflicts:  res.Conflicts,
 		Makespan:   res.Makespan,
 		Discovery:  time.Since(start),
@@ -348,9 +384,25 @@ func (f *Framework) PlanScheduleRequestContext(ctx context.Context, req *intent.
 			out.Method = st.Backend
 		}
 	}
-	if opt.RenderModel && tr != nil {
-		out.ModelText = tr.Model.Render()
+	if opt.RenderModel && b.Translation != nil {
+		out.ModelText = b.Translation.Model.Render()
 	}
+	return out, nil
+}
+
+// PlanScheduleRequestContext is PlanScheduleContext for a pre-parsed
+// request.
+func (f *Framework) PlanScheduleRequestContext(ctx context.Context, req *intent.Request, inv *inventory.Inventory, opt PlanOptions) (*PlanResult, error) {
+	start := time.Now()
+	b, err := f.BuildPlanRequest(ctx, req, inv, opt)
+	if err != nil {
+		return nil, err
+	}
+	out, err := f.RunPlan(ctx, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	out.Discovery = time.Since(start)
 	return out, nil
 }
 

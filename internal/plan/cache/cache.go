@@ -1,0 +1,201 @@
+// Package cache implements the serving layer's canonical plan cache: an
+// LRU with per-entry TTL keyed by the canonical model fingerprint
+// (model.Fingerprint) plus the resolved planning policy. Entries carry
+// the solved assignment and objective so the serving layer can both
+// answer identical requests without solving and warm-start the solver on
+// near-identical ones (Section 5's repeated change-request workload:
+// tenants resubmit the same or slightly-edited change plans many times).
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Entry is one cached plan.
+type Entry struct {
+	// Key is the full cache key (model fingerprint + policy).
+	Key string
+	// Family groups entries by model.FamilyKey for warm-start candidate
+	// scans: only entries from the same family (same intent name, slot
+	// count, and hard-feasibility flags) are considered as seeds.
+	Family string
+	// Value is the cached plan result. The cache does not interpret it;
+	// the serving layer stores its response payload here and must treat
+	// it as shared and immutable (clone before mutating).
+	Value any
+	// ItemSlots is the solved assignment (item ID -> slot, -1 leftover),
+	// the warm-start seed for near-identical models.
+	ItemSlots map[string]int
+	// ItemSigs are the per-item canonical signatures
+	// (model.ItemSignatures) of the cached model, used to size the delta
+	// between a new model and this entry without re-reading the model.
+	ItemSigs map[string]uint64
+	// Objective is the cached schedule's cost.
+	Objective int64
+}
+
+// Stats counts cache traffic. Values are cumulative since construction.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64 // capacity evictions + TTL expiries
+	Entries   int   // current resident entries
+}
+
+type cacheItem struct {
+	entry   Entry
+	expires time.Time
+	elem    *list.Element
+}
+
+// Cache is a bounded LRU with per-entry TTL. It is safe for concurrent
+// use. Expiry is lazy (checked on Get/Recent) plus opportunistic on Put,
+// so a quiescent cache may briefly hold expired entries; they are never
+// returned.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	ttl     time.Duration
+	items   map[string]*cacheItem
+	lru     *list.List // front = most recently used; values are keys
+	stats   Stats
+	now     func() time.Time
+	onEvict func(Entry)
+}
+
+// New builds a cache holding at most capacity entries, each valid for
+// ttl after its Put. capacity <= 0 disables caching (every Get misses);
+// ttl <= 0 means entries never expire.
+func New(capacity int, ttl time.Duration) *Cache {
+	return &Cache{
+		cap:   capacity,
+		ttl:   ttl,
+		items: make(map[string]*cacheItem),
+		lru:   list.New(),
+		now:   time.Now,
+	}
+}
+
+// SetClock replaces the cache's time source (tests).
+func (c *Cache) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
+}
+
+// SetOnEvict registers a callback invoked (outside experiments, for
+// metrics) for every evicted or expired entry. Called with c.mu held;
+// keep it fast and do not call back into the cache.
+func (c *Cache) SetOnEvict(fn func(Entry)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onEvict = fn
+}
+
+// Get returns the live entry for key, promoting it to most recently
+// used. An expired entry is removed and counts as a miss.
+func (c *Cache) Get(key string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	it, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return Entry{}, false
+	}
+	if c.expired(it) {
+		c.remove(it)
+		c.stats.Evictions++
+		c.stats.Misses++
+		return Entry{}, false
+	}
+	c.lru.MoveToFront(it.elem)
+	c.stats.Hits++
+	return it.entry, true
+}
+
+// Put inserts or replaces the entry under e.Key, resetting its TTL, and
+// evicts the least recently used entries beyond capacity.
+func (c *Cache) Put(e Entry) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if it, ok := c.items[e.Key]; ok {
+		it.entry = e
+		it.expires = c.expiry()
+		c.lru.MoveToFront(it.elem)
+		return
+	}
+	it := &cacheItem{entry: e, expires: c.expiry()}
+	it.elem = c.lru.PushFront(e.Key)
+	c.items[e.Key] = it
+	for len(c.items) > c.cap {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.remove(c.items[back.Value.(string)])
+		c.stats.Evictions++
+	}
+}
+
+// Recent returns up to limit live entries from the given family, most
+// recently used first. The serving layer scans these for a warm-start
+// seed when the exact key missed.
+func (c *Cache) Recent(family string, limit int) []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Entry
+	for el := c.lru.Front(); el != nil && len(out) < limit; {
+		next := el.Next()
+		it := c.items[el.Value.(string)]
+		if c.expired(it) {
+			c.remove(it)
+			c.stats.Evictions++
+		} else if it.entry.Family == family {
+			out = append(out, it.entry)
+		}
+		el = next
+	}
+	return out
+}
+
+// Len reports the number of resident entries (including any not yet
+// lazily expired).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.items)
+	return s
+}
+
+func (c *Cache) expiry() time.Time {
+	if c.ttl <= 0 {
+		return time.Time{}
+	}
+	return c.now().Add(c.ttl)
+}
+
+func (c *Cache) expired(it *cacheItem) bool {
+	return !it.expires.IsZero() && c.now().After(it.expires)
+}
+
+// remove deletes it from the map and LRU list; callers hold c.mu.
+func (c *Cache) remove(it *cacheItem) {
+	delete(c.items, it.entry.Key)
+	c.lru.Remove(it.elem)
+	if c.onEvict != nil {
+		c.onEvict(it.entry)
+	}
+}

@@ -1,0 +1,226 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(2, 0)
+	c.Put(Entry{Key: "a"})
+	c.Put(Entry{Key: "b"})
+	if _, ok := c.Get("a"); !ok { // promotes a
+		t.Fatal("a missing")
+	}
+	c.Put(Entry{Key: "c"}) // evicts b (LRU)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	c := New(8, time.Minute)
+	now := time.Unix(0, 0)
+	c.SetClock(func() time.Time { return now })
+	c.Put(Entry{Key: "a", Family: "f"})
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("expired entry returned")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("expired entry still resident: len=%d", c.Len())
+	}
+	// Recent must also skip (and reap) expired entries.
+	c.Put(Entry{Key: "b", Family: "f"})
+	now = now.Add(2 * time.Minute)
+	if got := c.Recent("f", 4); len(got) != 0 {
+		t.Fatalf("Recent returned expired entries: %v", got)
+	}
+}
+
+func TestCachePutRefreshesTTLAndValue(t *testing.T) {
+	c := New(8, time.Minute)
+	now := time.Unix(0, 0)
+	c.SetClock(func() time.Time { return now })
+	c.Put(Entry{Key: "a", Objective: 1})
+	now = now.Add(45 * time.Second)
+	c.Put(Entry{Key: "a", Objective: 2})
+	now = now.Add(30 * time.Second) // 75s after first Put, 30s after refresh
+	e, ok := c.Get("a")
+	if !ok {
+		t.Fatal("refreshed entry expired")
+	}
+	if e.Objective != 2 {
+		t.Fatalf("objective = %d, want 2", e.Objective)
+	}
+}
+
+func TestCacheRecentFamilyOrder(t *testing.T) {
+	c := New(8, 0)
+	c.Put(Entry{Key: "a", Family: "f1"})
+	c.Put(Entry{Key: "b", Family: "f2"})
+	c.Put(Entry{Key: "c", Family: "f1"})
+	got := c.Recent("f1", 8)
+	if len(got) != 2 || got[0].Key != "c" || got[1].Key != "a" {
+		t.Fatalf("Recent(f1) = %v", got)
+	}
+	if got := c.Recent("f1", 1); len(got) != 1 || got[0].Key != "c" {
+		t.Fatalf("Recent(f1, 1) = %v", got)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := New(0, 0)
+	c.Put(Entry{Key: "a"})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache returned an entry")
+	}
+}
+
+func TestCacheChurnConcurrent(t *testing.T) {
+	c := New(16, 50*time.Millisecond)
+	var evicted atomic.Int64
+	c.SetOnEvict(func(Entry) { evicted.Add(1) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				k := fmt.Sprintf("k%d", (g*400+i)%64)
+				if i%3 == 0 {
+					c.Put(Entry{Key: k, Family: "f"})
+				} else if i%3 == 1 {
+					c.Get(k)
+				} else {
+					c.Recent("f", 4)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("cache over capacity: %d", c.Len())
+	}
+	st := c.Stats()
+	if st.Evictions == 0 || evicted.Load() != st.Evictions {
+		t.Fatalf("evictions: stats=%d callback=%d", st.Evictions, evicted.Load())
+	}
+}
+
+func TestFlightCollapsesConcurrentCalls(t *testing.T) {
+	var f Flight
+	var runs atomic.Int64
+	release := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	sharedCount := atomic.Int64{}
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started <- struct{}{}
+			v, shared, err := f.Do(context.Background(), "k", func() (any, error) {
+				runs.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil || v.(int) != 42 {
+				t.Errorf("Do = %v, %v", v, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Wait for all callers to have entered Do before releasing the leader.
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	if got := sharedCount.Load(); got != n-1 {
+		t.Fatalf("shared callers = %d, want %d", got, n-1)
+	}
+}
+
+func TestFlightDistinctKeysConcurrent(t *testing.T) {
+	var f Flight
+	var runs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := f.Do(context.Background(), fmt.Sprintf("k%d", i), func() (any, error) {
+				runs.Add(1)
+				return i, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if runs.Load() != 8 {
+		t.Fatalf("runs = %d, want 8", runs.Load())
+	}
+}
+
+func TestFlightFollowerCancellation(t *testing.T) {
+	var f Flight
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	go func() {
+		f.Do(context.Background(), "k", func() (any, error) {
+			close(leaderIn)
+			<-release
+			return nil, nil
+		})
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, shared, err := f.Do(ctx, "k", func() (any, error) { return nil, nil })
+	if !shared || !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower: shared=%v err=%v", shared, err)
+	}
+	close(release)
+}
+
+func TestFlightErrorPropagates(t *testing.T) {
+	var f Flight
+	want := errors.New("boom")
+	_, _, err := f.Do(context.Background(), "k", func() (any, error) { return nil, want })
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failed call must not be cached: a retry runs fn again.
+	v, _, err := f.Do(context.Background(), "k", func() (any, error) { return 1, nil })
+	if err != nil || v.(int) != 1 {
+		t.Fatalf("retry: %v, %v", v, err)
+	}
+}

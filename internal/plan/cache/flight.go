@@ -1,0 +1,56 @@
+package cache
+
+import (
+	"context"
+	"sync"
+)
+
+// call is one in-flight computation shared by concurrent callers.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Flight collapses concurrent duplicate work: when N goroutines Do the
+// same key at once, one (the leader) runs fn and the rest wait for its
+// result. Unlike a bare mutex, distinct keys proceed concurrently, and
+// unlike memoization, a completed call's result is not retained — that
+// is the Cache's job. The zero value is ready to use.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+// Do runs fn once per key among concurrent callers, returning fn's
+// result to all of them. shared reports whether the result came from
+// another caller's execution (this caller was a follower). A follower
+// whose ctx ends before the leader finishes returns ctx.Err() early; the
+// leader itself always runs fn to completion (fn observes cancellation
+// through its own context, which Do does not manage).
+func (f *Flight) Do(ctx context.Context, key string, fn func() (any, error)) (v any, shared bool, err error) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = make(map[string]*call)
+	}
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}

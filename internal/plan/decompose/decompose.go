@@ -24,9 +24,17 @@ import (
 // expansion function that maps a contracted schedule back to the original
 // item space.
 func Contract(m *model.Model) (*model.Model, func(model.Schedule) model.Schedule, error) {
+	c, expand, _, err := contract(m)
+	return c, expand, err
+}
+
+// contract is Contract plus the item -> super-item index mapping, which
+// SolveContext needs to translate warm-start seeds into the contracted
+// item space.
+func contract(m *model.Model) (*model.Model, func(model.Schedule) model.Schedule, []int, error) {
 	m.Normalize()
 	if err := m.Validate(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	n := len(m.Items)
 	// Union-find over overlapping consistency groups.
@@ -192,9 +200,39 @@ func Contract(m *model.Model) (*model.Model, func(model.Schedule) model.Schedule
 		out.Nodes = s.Nodes
 		out.Workers = s.Workers
 		out.DomainPrunes = s.DomainPrunes
+		out.Warm = s.Warm
 		return out
 	}
-	return c, expand, nil
+	return c, expand, super, nil
+}
+
+// contractSeed translates a warm-start seed from the original item space
+// into the contracted one: a super-item inherits a seed slot only when
+// every member the seed covers agrees on it (and none is missing), so a
+// partially-edited consistency group simply starts unseeded rather than
+// contradicting itself.
+func contractSeed(m, c *model.Model, super []int, seed map[string]int) map[string]int {
+	ns := len(c.Items)
+	slot := make([]int, ns)
+	ok := make([]bool, ns)
+	seen := make([]bool, ns)
+	for i := range m.Items {
+		t, present := seed[m.Items[i].ID]
+		s := super[i]
+		switch {
+		case !seen[s]:
+			seen[s], ok[s], slot[s] = true, present, t
+		case !present || !ok[s] || slot[s] != t:
+			ok[s] = false
+		}
+	}
+	out := make(map[string]int, ns)
+	for s := 0; s < ns; s++ {
+		if seen[s] && ok[s] {
+			out[c.Items[s].ID] = slot[s]
+		}
+	}
+	return out
 }
 
 // Split partitions the model into independent sub-models: items are
@@ -398,9 +436,12 @@ func SolveContext(ctx context.Context, m *model.Model, opt SolveOptions) (model.
 	expand := func(s model.Schedule) model.Schedule { return s }
 	work := m
 	if opt.Contract && len(m.SameSlot) > 0 {
-		c, ex, err := Contract(m)
+		c, ex, super, err := contract(m)
 		if err != nil {
 			return model.Schedule{}, err
+		}
+		if len(opt.Solver.WarmSlots) > 0 {
+			opt.Solver.WarmSlots = contractSeed(m, c, super, opt.Solver.WarmSlots)
 		}
 		work, expand = c, ex
 	}
@@ -466,6 +507,7 @@ func SolveContext(ctx context.Context, m *model.Model, opt SolveOptions) (model.
 	}
 	slots := make([]int, len(work.Items))
 	optimal := true
+	warm := false
 	var nodes, prunes int64
 	workers := 0
 	for i, r := range results {
@@ -476,6 +518,7 @@ func SolveContext(ctx context.Context, m *model.Model, opt SolveOptions) (model.
 			slots[gi] = r.Slots[li]
 		}
 		optimal = optimal && r.Optimal
+		warm = warm || r.Warm
 		nodes += r.Nodes
 		prunes += r.DomainPrunes
 		if r.Workers > workers {
@@ -490,6 +533,7 @@ func SolveContext(ctx context.Context, m *model.Model, opt SolveOptions) (model.
 	merged.Nodes = nodes
 	merged.Workers = workers
 	merged.DomainPrunes = prunes
+	merged.Warm = warm
 	if v := work.Check(slots); len(v) > 0 {
 		return model.Schedule{}, fmt.Errorf("decompose: merged schedule infeasible: %v", v[0])
 	}

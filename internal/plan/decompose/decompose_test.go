@@ -1,6 +1,7 @@
 package decompose
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -265,5 +266,68 @@ func TestSolveWithoutDecomposition(t *testing.T) {
 	}
 	if s.Unscheduled != 0 || s.Makespan != 2 {
 		t.Fatalf("schedule = %+v", s)
+	}
+}
+
+func TestSolveContextWarmSeedThroughContract(t *testing.T) {
+	m := &model.Model{
+		Name:       "warmc",
+		Items:      items(8),
+		NumSlots:   4,
+		RequireAll: true,
+		SameSlot:   [][]int{{0, 1}, {2, 3}},
+		Capacities: []model.Capacity{{Name: "g", Sets: [][]int{all(8)}, Cap: 3}},
+	}
+	opt := SolveOptions{Contract: true, Split: true}
+	cold, err := SolveContext(context.Background(), m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Warm {
+		t.Fatal("cold solve flagged Warm")
+	}
+	// Seed in the ORIGINAL item space: contraction must translate it to
+	// the synthetic grp(...) items, not drop it.
+	seed := map[string]int{}
+	for i := range m.Items {
+		seed[m.Items[i].ID] = cold.Slots[i]
+	}
+	wopt := opt
+	wopt.Solver.WarmSlots = seed
+	warm, err := SolveContext(context.Background(), m, wopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Warm {
+		t.Fatal("seed did not survive contraction")
+	}
+	if warm.Cost != cold.Cost {
+		t.Fatalf("warm cost %d != cold cost %d", warm.Cost, cold.Cost)
+	}
+	// A seed that splits a consistency group must leave that super-item
+	// unseeded but still warm-start feasibly when leftovers are allowed.
+	m2 := &model.Model{
+		Name:     "warmc2",
+		Items:    items(8),
+		NumSlots: 4,
+		SameSlot: [][]int{{0, 1}, {2, 3}},
+	}
+	cold2, err := SolveContext(context.Background(), m2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed2 := map[string]int{}
+	for i := range m2.Items {
+		seed2[m2.Items[i].ID] = cold2.Slots[i]
+	}
+	seed2["n000"] = (seed2["n001"] + 1) % 4 // disagree within group {0,1}
+	wopt2 := opt
+	wopt2.Solver.WarmSlots = seed2
+	warm2, err := SolveContext(context.Background(), m2, wopt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm2.Warm {
+		t.Fatal("partially-disagreeing seed rejected outright")
 	}
 }

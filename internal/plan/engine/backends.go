@@ -61,6 +61,7 @@ func fromSchedule(req *Request, sched model.Schedule, st *Stats) Result {
 		st.NodesPerWorker = st.Nodes / int64(st.Workers)
 	}
 	st.DomainPrunes = sched.DomainPrunes
+	st.WarmStart = sched.Warm
 	var assignment map[string]int
 	var leftovers []string
 	if req.Expand != nil {

@@ -117,6 +117,10 @@ type Stats struct {
 	// domains via capacity forward-checking (0 for backends without
 	// domain propagation).
 	DomainPrunes int64
+	// WarmStart reports that the backend's search was seeded with a
+	// cached incumbent (Options.Solver.WarmSlots) instead of solving
+	// cold.
+	WarmStart bool
 	// Objective is the backend's own objective value (model cost for the
 	// solver backends, weighted total completion time for the heuristic).
 	Objective int64

@@ -1,0 +1,217 @@
+package model
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Fingerprint returns a deterministic canonical hash of the model's
+// semantics: two models describing the same scheduling problem hash
+// identically regardless of the order in which items, constraints, or the
+// sets inside constraints were constructed, while any semantic change —
+// a different duration, capacity value, forbidden slot, window length, or
+// objective mode — produces a different hash.
+//
+// The hash is the plan cache's key (internal/plan/cache): thousands of
+// tenants submitting structurally identical intents translate to models
+// with the same fingerprint and therefore solve once. Items are
+// canonicalized by ID (Validate guarantees IDs are unique), constraint
+// sets become sorted ID lists, and the constraints of each family are
+// sorted by their serialized form; constraint names are deliberately
+// excluded — they label diagnostics, not semantics. Defaulted fields
+// (SkipPenalty, BigM, effective weights and durations) are folded in at
+// their effective values so a pre- and post-Normalize model hash the same.
+func (m *Model) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "slots=%d;requireAll=%t;skip=%d;bigM=%d;zeroConflict=%t;\n",
+		m.NumSlots, m.RequireAll, m.effectiveSkipPenalty(), m.effectiveBigM(), m.ZeroConflict)
+	for _, rec := range m.canonicalItems() {
+		fmt.Fprintf(h, "item:%s\n", rec)
+	}
+	for _, fam := range [][]string{
+		prefixed("cap", m.canonicalCapacities()),
+		prefixed("gc", m.canonicalGroupCounts()),
+		prefixed("same", m.canonicalSameSlot()),
+		prefixed("uni", m.canonicalUniform()),
+		prefixed("loc", m.canonicalLocalized()),
+	} {
+		for _, rec := range fam {
+			fmt.Fprintf(h, "%s\n", rec)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FamilyKey returns a coarse grouping key for warm-start candidate lookup:
+// models in the same family describe the same kind of problem (window
+// length, completeness requirement, conflict mode) and are worth diffing
+// for a small delta; models in different families never warm-start each
+// other. Item identities and constraint values are deliberately excluded
+// so an intent whose fleet gained a node or changed an attribute still
+// lands in its predecessor's family.
+func (m *Model) FamilyKey() string {
+	return fmt.Sprintf("%s|%d|%t|%t", m.Name, m.NumSlots, m.RequireAll, m.ZeroConflict)
+}
+
+// ItemSignatures returns a per-item semantic signature keyed by item ID:
+// two models assign the same signature to an ID exactly when that item's
+// weight, duration, forbidden slots, and conflict slots are identical.
+// The plan cache diffs the signature maps of a new model against a cached
+// one to size the delta between them and decide whether the cached
+// incumbent is close enough to seed a warm-start solve.
+func (m *Model) ItemSignatures() map[string]uint64 {
+	sigs := make(map[string]uint64, len(m.Items))
+	for i := range m.Items {
+		f := fnv.New64a()
+		fmt.Fprint(f, m.itemRecord(i))
+		sigs[m.Items[i].ID] = f.Sum64()
+	}
+	return sigs
+}
+
+// effectiveSkipPenalty mirrors Normalize's default without mutating m.
+func (m *Model) effectiveSkipPenalty() int {
+	if m.SkipPenalty == 0 {
+		return 2 * (m.NumSlots + 1)
+	}
+	return m.SkipPenalty
+}
+
+// effectiveBigM mirrors Normalize's default without mutating m.
+func (m *Model) effectiveBigM() int {
+	if m.BigM != 0 {
+		return m.BigM
+	}
+	total := 0
+	for _, it := range m.Items {
+		w := it.Weight
+		if w <= 0 {
+			w = 1
+		}
+		total += w
+	}
+	return total*(m.NumSlots+1) + m.effectiveSkipPenalty()*total + 1
+}
+
+// itemRecord serializes one item's semantics (effective weight and
+// duration, sorted forbidden and conflict slots).
+func (m *Model) itemRecord(i int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|w=%d|d=%d", m.Items[i].ID, m.Weight(i), m.Duration(i))
+	if i < len(m.Forbidden) && len(m.Forbidden[i]) > 0 {
+		fmt.Fprintf(&b, "|f=%v", sortedCopy(m.Forbidden[i]))
+	}
+	if i < len(m.ConflictSlots) && len(m.ConflictSlots[i]) > 0 {
+		fmt.Fprintf(&b, "|c=%v", sortedCopy(m.ConflictSlots[i]))
+	}
+	return b.String()
+}
+
+// canonicalItems returns one record per item, sorted by ID.
+func (m *Model) canonicalItems() []string {
+	recs := make([]string, len(m.Items))
+	for i := range m.Items {
+		recs[i] = m.itemRecord(i)
+	}
+	sort.Strings(recs)
+	return recs
+}
+
+// idSet maps an index set to a sorted, comma-joined list of item IDs.
+func (m *Model) idSet(set []int) string {
+	ids := make([]string, len(set))
+	for k, i := range set {
+		ids[k] = m.Items[i].ID
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ",")
+}
+
+// idSets canonicalizes a list of index sets: each set becomes a sorted ID
+// list, and the sets themselves are sorted.
+func (m *Model) idSets(sets [][]int) []string {
+	out := make([]string, len(sets))
+	for k, s := range sets {
+		out[k] = m.idSet(s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (m *Model) canonicalCapacities() []string {
+	recs := make([]string, len(m.Capacities))
+	for k, c := range m.Capacities {
+		bucket := c.BucketSlots
+		if bucket <= 1 {
+			bucket = 1
+		}
+		recs[k] = fmt.Sprintf("cap=%d|bucket=%d|sets={%s}", c.Cap, bucket, strings.Join(m.idSets(c.Sets), ";"))
+	}
+	sort.Strings(recs)
+	return recs
+}
+
+func (m *Model) canonicalGroupCounts() []string {
+	recs := make([]string, len(m.GroupCounts))
+	for k, g := range m.GroupCounts {
+		recs[k] = fmt.Sprintf("cap=%d|groups={%s}", g.Cap, strings.Join(m.idSets(g.Groups), ";"))
+	}
+	sort.Strings(recs)
+	return recs
+}
+
+func (m *Model) canonicalSameSlot() []string {
+	var recs []string
+	for _, grp := range m.SameSlot {
+		if len(grp) > 1 {
+			recs = append(recs, m.idSet(grp))
+		}
+	}
+	sort.Strings(recs)
+	return recs
+}
+
+func (m *Model) canonicalUniform() []string {
+	recs := make([]string, len(m.Uniform))
+	for k, u := range m.Uniform {
+		pairs := make([]string, len(m.Items))
+		for i := range m.Items {
+			v := 0.0
+			if i < len(u.Values) {
+				v = u.Values[i]
+			}
+			pairs[i] = fmt.Sprintf("%s=%g", m.Items[i].ID, v)
+		}
+		sort.Strings(pairs)
+		recs[k] = fmt.Sprintf("max=%g|vals={%s}", u.MaxDist, strings.Join(pairs, ","))
+	}
+	sort.Strings(recs)
+	return recs
+}
+
+func (m *Model) canonicalLocalized() []string {
+	recs := make([]string, len(m.Localized))
+	for k, l := range m.Localized {
+		recs[k] = fmt.Sprintf("groups={%s}", strings.Join(m.idSets(l.Groups), ";"))
+	}
+	sort.Strings(recs)
+	return recs
+}
+
+func prefixed(tag string, recs []string) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = tag + ":" + r
+	}
+	return out
+}
+
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

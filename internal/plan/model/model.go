@@ -431,6 +431,10 @@ type Schedule struct {
 	// solver's capacity forward-checking (0 for producers without domain
 	// propagation, e.g. the heuristic backend).
 	DomainPrunes int64
+	// Warm reports that the search was seeded with a feasible incumbent
+	// from a previous solve (warm-start re-planning) instead of starting
+	// from an unbounded incumbent.
+	Warm bool
 }
 
 // Weight returns item i's effective weight (>=1).

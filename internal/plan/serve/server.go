@@ -1,0 +1,255 @@
+// Package serve is the multi-tenant planning service in front of the
+// planning engine: a canonical plan cache keyed by the translated model's
+// order-independent fingerprint, singleflight collapse of concurrent
+// identical requests, warm-start seeding of near-identical re-plans, and
+// tenant-fair admission control with load shedding. It exists because the
+// paper's workload is repetitive — operations teams resubmit the same or
+// slightly-edited change plans many times while iterating — so the
+// serving layer can answer most requests without paying a cold solve.
+package serve
+
+import (
+	"context"
+	"time"
+
+	"cornet/internal/core"
+	"cornet/internal/inventory"
+	"cornet/internal/plan/cache"
+	"cornet/internal/plan/intent"
+	"cornet/internal/plan/model"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// CacheSize bounds the plan cache (entries; default 512, <0 disables).
+	CacheSize int
+	// CacheTTL expires cached plans (default 10m, <0 never expires).
+	CacheTTL time.Duration
+	// WarmDelta is the largest item-level delta (changed + added + removed
+	// items) against a cached model that still warm-starts the solve
+	// (default 8; <0 disables warm starts).
+	WarmDelta int
+	// WarmScan bounds how many recent same-family cache entries are
+	// examined for a warm-start seed (default 32).
+	WarmScan int
+	// Admission tunes the admission controller.
+	Admission AdmitConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 512
+	}
+	if c.CacheTTL == 0 {
+		c.CacheTTL = 10 * time.Minute
+	}
+	if c.WarmDelta == 0 {
+		c.WarmDelta = 8
+	}
+	if c.WarmScan <= 0 {
+		c.WarmScan = 32
+	}
+	return c
+}
+
+// Response is one served plan plus its serving-path provenance.
+type Response struct {
+	// Result is the plan. Cache hits share one Result across responses:
+	// treat it as immutable.
+	Result *core.PlanResult
+	// CacheHit reports the plan came from the cache without solving.
+	CacheHit bool
+	// Shared reports this request rode another identical in-flight solve
+	// (singleflight follower).
+	Shared bool
+	// Warm reports the solve was seeded with a cached incumbent.
+	Warm bool
+	// Key is the canonical cache key (model fingerprint + policy); empty
+	// on the heuristic-only path, which has no canonical model.
+	Key string
+	// Wait is the time spent queued in admission (zero for cache hits).
+	Wait time.Duration
+}
+
+// Server serves plan requests through cache, singleflight, warm-start,
+// and admission. Construct with New; Stop before discarding.
+type Server struct {
+	f         *core.Framework
+	cache     *cache.Cache
+	flight    cache.Flight
+	adm       *Admitter
+	warmDelta int
+	warmScan  int
+}
+
+// New builds the serving layer around a framework.
+func New(f *core.Framework, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	c := cache.New(cfg.CacheSize, cfg.CacheTTL)
+	c.SetOnEvict(func(cache.Entry) { metricCacheEvictions.Inc() })
+	return &Server{
+		f:         f,
+		cache:     c,
+		adm:       NewAdmitter(cfg.Admission),
+		warmDelta: cfg.WarmDelta,
+		warmScan:  cfg.WarmScan,
+	}
+}
+
+// Admitter exposes the admission controller (tests, queue-depth probes).
+func (s *Server) Admitter() *Admitter { return s.adm }
+
+// CacheStats returns a snapshot of the plan cache counters.
+func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// Stop shuts the admission workers down and fails queued requests.
+func (s *Server) Stop() { s.adm.Stop() }
+
+// outcome is the singleflight payload: the leader's result plus the
+// serving metadata followers inherit.
+type outcome struct {
+	res  *core.PlanResult
+	warm bool
+	wait time.Duration
+}
+
+// Plan serves one plan request for a tenant. Identical requests (same
+// canonical model, same policy) hit the cache or share an in-flight
+// solve; near-identical ones seed the solver with the best cached
+// incumbent; everything that actually solves goes through tenant-fair
+// admission. Heuristic-only requests (no constraint model) skip the
+// cache — the local search is not canonically keyed — but still queue
+// through admission.
+func (s *Server) Plan(ctx context.Context, tenant string, req *intent.Request, inv *inventory.Inventory, opt core.PlanOptions) (*Response, error) {
+	b, err := s.f.BuildPlanRequest(ctx, req, inv, opt)
+	if err != nil {
+		return nil, err
+	}
+	if b.Req.Model == nil {
+		res, wait, err := s.solve(ctx, tenant, b, opt)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Result: res, Wait: wait}, nil
+	}
+
+	key := b.Req.Model.Fingerprint() + "|" + string(b.Policy)
+	if e, ok := s.cache.Get(key); ok {
+		metricCacheHits.Inc()
+		metricCacheEntries.Set(float64(s.cache.Len()))
+		return &Response{Result: e.Value.(*core.PlanResult), CacheHit: true, Key: key}, nil
+	}
+	metricCacheMisses.Inc()
+
+	v, shared, err := s.flight.Do(ctx, key, func() (any, error) {
+		ropt := opt
+		warm := false
+		if seed := s.warmSeed(b.Req.Model, key); seed != nil {
+			ropt.Warm = seed
+			warm = true
+			metricWarmStarts.Inc()
+		}
+		res, wait, err := s.solve(ctx, tenant, b, ropt)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(entryFor(key, b.Req.Model, res))
+		metricCacheEntries.Set(float64(s.cache.Len()))
+		return &outcome{res: res, warm: warm && warmApplied(res), wait: wait}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		metricShared.Inc()
+	}
+	o := v.(*outcome)
+	return &Response{Result: o.res, Shared: shared, Warm: o.warm, Key: key, Wait: o.wait}, nil
+}
+
+// solve runs the built request through admission onto the engine.
+func (s *Server) solve(ctx context.Context, tenant string, b *core.PlanBuild, opt core.PlanOptions) (*core.PlanResult, time.Duration, error) {
+	var res *core.PlanResult
+	var rerr error
+	wait, err := s.adm.Submit(ctx, tenant, func() {
+		res, rerr = s.f.RunPlan(ctx, b, opt)
+	})
+	if err != nil {
+		return nil, wait, err
+	}
+	return res, wait, rerr
+}
+
+// warmSeed scans recent same-family cache entries for the closest model
+// (by per-item signature delta) within WarmDelta and returns its solved
+// assignment as the solver seed, or nil when nothing is close enough.
+func (s *Server) warmSeed(m *model.Model, selfKey string) map[string]int {
+	if s.warmDelta < 0 {
+		return nil
+	}
+	cands := s.cache.Recent(m.FamilyKey(), s.warmScan)
+	if len(cands) == 0 {
+		return nil
+	}
+	sigs := m.ItemSignatures()
+	var best map[string]int
+	bestDelta := s.warmDelta + 1
+	for _, c := range cands {
+		if c.Key == selfKey || len(c.ItemSlots) == 0 {
+			continue
+		}
+		delta := 0
+		for id, sig := range sigs {
+			if old, ok := c.ItemSigs[id]; !ok || old != sig {
+				delta++
+			}
+		}
+		for id := range c.ItemSigs {
+			if _, ok := sigs[id]; !ok {
+				delta++
+			}
+		}
+		if delta < bestDelta {
+			bestDelta = delta
+			best = c.ItemSlots
+		}
+	}
+	return best
+}
+
+// entryFor converts a solved result into its cache entry, recording the
+// assignment (leftovers as -1) as the warm-start seed for future
+// near-identical models.
+func entryFor(key string, m *model.Model, res *core.PlanResult) cache.Entry {
+	slots := make(map[string]int, len(res.Assignment)+len(res.Leftovers))
+	for id, t := range res.Assignment {
+		slots[id] = t
+	}
+	for _, id := range res.Leftovers {
+		slots[id] = -1
+	}
+	e := cache.Entry{
+		Key:       key,
+		Family:    m.FamilyKey(),
+		Value:     res,
+		ItemSlots: slots,
+		ItemSigs:  m.ItemSignatures(),
+	}
+	for _, st := range res.Stats {
+		if st.Winner {
+			e.Objective = st.Objective
+		}
+	}
+	return e
+}
+
+// warmApplied reports whether any backend actually used the seed (an
+// infeasible seed is silently dropped by the solver).
+func warmApplied(res *core.PlanResult) bool {
+	for _, st := range res.Stats {
+		if st.WarmStart {
+			return true
+		}
+	}
+	return false
+}

@@ -69,6 +69,16 @@ type Options struct {
 	// (under the incumbent lock) and must be fast and non-blocking; the
 	// planning engine uses it to emit incumbent-improvement trace events.
 	OnIncumbent func(cost, nodes int64)
+	// WarmSlots seeds the search with a known schedule from a previous
+	// solve of a similar model, keyed by item ID (slot index, or -1 for a
+	// deliberate leftover; items absent from the map start unscheduled).
+	// When the seeded assignment is feasible for THIS model it becomes the
+	// initial incumbent — the search starts with its cost as the upper
+	// bound instead of +inf, pruning everything the cached solution
+	// already dominates (warm-start re-planning). An infeasible or
+	// ill-fitting seed is silently ignored: warm starts are an
+	// optimization, never a correctness input.
+	WarmSlots map[string]int
 }
 
 func (o Options) withDefaults() Options {
@@ -118,6 +128,11 @@ func SolveContext(ctx context.Context, m *model.Model, opt Options) (model.Sched
 	}
 	s := newState(m, opt)
 	s.ctx = ctx
+	if len(opt.WarmSlots) > 0 {
+		if slots, cost, ok := warmIncumbent(m, opt.WarmSlots); ok {
+			s.bestSlots, s.bestCost, s.warm = slots, cost, true
+		}
+	}
 	if d, ok := ctx.Deadline(); ok {
 		// Stop slightly ahead of the context's hard deadline so the search
 		// returns its incumbent instead of racing ctx.Err() in checkBudget.
@@ -154,10 +169,36 @@ func SolveContext(ctx context.Context, m *model.Model, opt Options) (model.Sched
 	sched.Nodes = s.nodes
 	sched.Workers = 1
 	sched.DomainPrunes = s.domPrunes
+	sched.Warm = s.warm
 	if v := m.Check(s.bestSlots); len(v) > 0 {
 		return model.Schedule{}, fmt.Errorf("solver: internal error, produced infeasible schedule: %v", v[0])
 	}
 	return sched, nil
+}
+
+// warmIncumbent maps a cached item-ID assignment onto m's item order and
+// validates it as a feasible schedule for m. Items absent from the seed
+// (or mapped to -1) stay unscheduled. Reports ok=false — warm start
+// skipped — when the seed violates any of m's constraints, which covers
+// every delta the re-planning path can produce: RequireAll models missing
+// an item, shrunk windows, new forbidden slots, tightened capacities.
+func warmIncumbent(m *model.Model, seed map[string]int) ([]int, int64, bool) {
+	slots := make([]int, len(m.Items))
+	for i := range m.Items {
+		t, ok := seed[m.Items[i].ID]
+		if !ok {
+			t = -1
+		}
+		slots[i] = t
+	}
+	if len(m.Check(slots)) > 0 {
+		return nil, 0, false
+	}
+	sched, err := m.Evaluate(slots)
+	if err != nil {
+		return nil, 0, false
+	}
+	return slots, sched.Cost, true
 }
 
 // sharedBound is the cross-worker search state: the global incumbent (an
@@ -227,6 +268,12 @@ func solveParallel(ctx context.Context, m *model.Model, opt Options, base *state
 	}
 	sh := &sharedBound{onIncumbent: opt.OnIncumbent}
 	sh.bestCost.Store(math.MaxInt64)
+	if base.bestSlots != nil {
+		// Warm start: the seeded incumbent becomes the shared bound every
+		// worker prunes against from its first node.
+		sh.bestCost.Store(base.bestCost)
+		sh.bestSlots = base.bestSlots
+	}
 	states := make([]*state, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -298,6 +345,7 @@ func solveParallel(ctx context.Context, m *model.Model, opt Options, base *state
 	sched.Nodes = nodes
 	sched.Workers = workers
 	sched.DomainPrunes = prunes
+	sched.Warm = base.warm
 	if v := m.Check(sh.bestSlots); len(v) > 0 {
 		return model.Schedule{}, fmt.Errorf("solver: internal error, produced infeasible schedule: %v", v[0])
 	}
@@ -461,9 +509,12 @@ type state struct {
 	domPrunes int64
 	deadline  time.Time
 	complete  bool
-	stopped   bool
-	ctx       context.Context
-	ctxErr    error
+	// warm reports that bestSlots/bestCost were seeded from
+	// Options.WarmSlots rather than discovered by this search.
+	warm    bool
+	stopped bool
+	ctx     context.Context
+	ctxErr  error
 
 	// shared is non-nil for parallel workers: the global incumbent bound,
 	// node total, and stop flag. flushed counts the nodes already added to
