@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check race bench bench-serve cover check doccheck
+.PHONY: all build test vet fmt-check race bench bench-serve cover check doccheck metriccheck
 
 all: check
 
@@ -36,7 +36,14 @@ doccheck: vet fmt-check
 	$(GO) run ./tools/doccheck ./internal/orchestrator ./internal/orchestrator/resilience \
 		./internal/workflow ./internal/testbed \
 		./internal/controller ./internal/controller/reconcile ./internal/changelog \
-		./internal/plan/serve ./internal/plan/cache
+		./internal/plan/serve ./internal/plan/cache \
+		./internal/obs/events ./internal/obs/slo ./internal/obs/tenants
+
+# Metrics-naming hygiene: a go/ast walk asserting that every cornet_*
+# metric registered in code is documented in the README's observability
+# tables (tools/metriccheck).
+metriccheck:
+	$(GO) run ./tools/metriccheck ./internal ./cmd
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
@@ -53,4 +60,4 @@ bench:
 bench-serve:
 	$(GO) run ./cmd/cornet-bench -exp bench-serve -quick
 
-check: build vet fmt-check test race doccheck
+check: build vet fmt-check test race doccheck metriccheck

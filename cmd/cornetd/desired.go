@@ -61,6 +61,9 @@ func (s *server) handleDesired(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 			return
 		}
+		if f.ChangeID != "" {
+			w.Header().Set("X-Change-ID", f.ChangeID)
+		}
 		writeJSON(w, http.StatusOK, f)
 	case http.MethodDelete:
 		name := r.URL.Query().Get("name")

@@ -29,6 +29,7 @@ import (
 	"cornet/internal/inventory"
 	"cornet/internal/netgen"
 	"cornet/internal/obs"
+	"cornet/internal/obs/slo"
 	"cornet/internal/orchestrator/resilience"
 	"cornet/internal/plan/engine"
 	"cornet/internal/plan/intent"
@@ -53,6 +54,11 @@ type server struct {
 	// rec is the desired-state reconcile controller behind /api/desired;
 	// serve() starts it alongside the listener.
 	rec *reconcile.Manager
+
+	// slo tracks the serving objectives, fed from the event journal;
+	// sloStop detaches the feed (serve() and tests call it on shutdown).
+	slo     *slo.Tracker
+	sloStop func()
 
 	log     *slog.Logger
 	httpm   *obs.HTTPMetrics
@@ -83,6 +89,8 @@ func newServer(f *core.Framework, tb *testbed.Testbed, net *netgen.Network,
 		started:     time.Now(),
 		deployments: map[string]*workflow.Deployment{},
 	}
+	s.slo, s.sloStop = newSLOTracker()
+	registerBuildInfo()
 	s.fleetInv = testbed.MirrorInventory(tb, assignMarket)
 	rec, err := reconcile.New(reconcile.Config{
 		Framework: f, Inventory: s.fleetInv, Log: log,
@@ -110,6 +118,7 @@ func main() {
 		planTenantQuota = flag.Int("plan-tenant-quota", 0, "per-tenant admission queue bound (0 = the global limit)")
 		planWarmDelta   = flag.Int("plan-warm-delta", 8, "max item-level delta against a cached plan that still warm-starts the solve (<0 disables)")
 		drainTimeout    = flag.Duration("drain-timeout", 15*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
+		runtimeSample   = flag.Duration("runtime-sample-interval", 10*time.Second, "Go runtime self-sampling interval for the cornet_go_* gauges (0 disables)")
 		logLevel        = flag.String("log-level", "info", "log level (debug|info|warn|error)")
 		logFormat       = flag.String("log-format", "text", "log format (text|json)")
 
@@ -190,6 +199,10 @@ func main() {
 	obs.Default.GaugeFunc("cornet_uptime_seconds",
 		"Seconds since cornetd started.",
 		func() float64 { return time.Since(s.started).Seconds() })
+	if *runtimeSample > 0 {
+		sampler := obs.StartRuntimeSampler(obs.Default, *runtimeSample)
+		defer sampler.Stop()
+	}
 
 	logger.Info("cornetd starting",
 		"blocks", f.Catalog.Len(), "testbed_vnfs", tb.Len(),
@@ -279,7 +292,13 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown deployment API (deploy first)", http.StatusNotFound)
 		return
 	}
-	ctx := r.Context()
+	tenant, err := planTenant(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	changeID := changeIDFromRequest(r)
+	ctx := obs.WithTenant(obs.WithChangeID(r.Context(), changeID), tenant)
 	var root *obs.Span
 	if r.URL.Query().Get("trace") == "1" {
 		ctx, root = obs.StartTrace(ctx, "http.wf.execute")
@@ -290,12 +309,14 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		Node, Block, Status, Err string
 		DurationNS               int64
 	}
+	w.Header().Set("X-Change-ID", changeID)
 	resp := struct {
-		Status string          `json:"status"`
-		Error  string          `json:"error,omitempty"`
-		Logs   []blockLog      `json:"logs"`
-		Trace  *obs.SpanExport `json:"trace,omitempty"`
-	}{Status: string(exec.Status), Trace: root.Export()}
+		Status   string          `json:"status"`
+		ChangeID string          `json:"change_id"`
+		Error    string          `json:"error,omitempty"`
+		Logs     []blockLog      `json:"logs"`
+		Trace    *obs.SpanExport `json:"trace,omitempty"`
+	}{Status: string(exec.Status), ChangeID: changeID, Trace: root.Export()}
 	if err != nil {
 		resp.Error = err.Error()
 	}
@@ -431,7 +452,8 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		layer, _ := e.Attr(inventory.AttrLayer)
 		return layer == "edge"
 	})
-	ctx := r.Context()
+	changeID := changeIDFromRequest(r)
+	ctx := obs.WithChangeID(r.Context(), changeID)
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -490,12 +512,14 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Shared bool   `json:"shared,omitempty"`
 		Key    string `json:"key,omitempty"`
 	}
+	w.Header().Set("X-Change-ID", changeID)
 	writeJSON(w, http.StatusOK, struct {
 		Method     string          `json:"method"`
 		Makespan   int             `json:"makespan"`
 		Conflicts  int             `json:"conflicts"`
 		TimedOut   bool            `json:"timed_out,omitempty"`
 		Tenant     string          `json:"tenant"`
+		ChangeID   string          `json:"change_id"`
 		Cache      cacheInfo       `json:"cache"`
 		WaitNS     int64           `json:"admission_wait_ns"`
 		Stats      []backendStats  `json:"stats"`
@@ -503,7 +527,7 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Leftovers  []string        `json:"leftovers,omitempty"`
 		Trace      *obs.SpanExport `json:"trace,omitempty"`
 	}{res.Method, res.Makespan, res.Conflicts, res.TimedOut,
-		tenant, cacheInfo{Hit: served.CacheHit, Warm: served.Warm, Shared: served.Shared, Key: served.Key},
+		tenant, changeID, cacheInfo{Hit: served.CacheHit, Warm: served.Warm, Shared: served.Shared, Key: served.Key},
 		int64(served.Wait), stats, res.Assignment, res.Leftovers, root.Export()})
 }
 

@@ -34,6 +34,7 @@ func testServer(t *testing.T) (*server, *httptest.Server) {
 	srv := httptest.NewServer(newMux(s))
 	t.Cleanup(srv.Close)
 	t.Cleanup(s.planSrv.Stop)
+	t.Cleanup(s.sloStop)
 	return s, srv
 }
 

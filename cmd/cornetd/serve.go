@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"cornet/internal/obs"
+	"cornet/internal/obs/events"
 )
 
 // newMux assembles the full routing table: every API route goes through the
@@ -34,7 +35,18 @@ func newMux(s *server) *http.ServeMux {
 	wrap("/api/plan", http.HandlerFunc(s.handlePlan))
 	wrap("/api/desired", http.HandlerFunc(s.handleDesired))
 	wrap("/api/revisions", http.HandlerFunc(s.handleRevisions))
-	mux.Handle("/metrics", obs.Default.Handler())
+	wrap("/api/changes/", http.HandlerFunc(s.handleTimeline))
+	wrap("/api/slo", http.HandlerFunc(s.handleSLO))
+	wrap("/api/tenants", http.HandlerFunc(s.handleTenants))
+	wrap("/version", http.HandlerFunc(s.handleVersion))
+	// The event feed is served raw: its SSE mode needs the naked
+	// http.Flusher the middleware's recording writer would hide.
+	mux.Handle("/api/events", events.Default.Handler())
+	// SLO gauges are evaluated lazily: refresh them on every scrape.
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.slo.SyncMetrics()
+		obs.Default.Handler().ServeHTTP(w, r)
+	}))
 	// pprof registers on the default mux only; expose it here explicitly.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -98,6 +110,8 @@ func serve(s *server, addr string, drain time.Duration) error {
 	// The plan admission workers drain after the listener: queued plan
 	// requests either finish or fail fast with 503s.
 	defer s.planSrv.Stop()
+	// Detach the SLO tracker's event-journal feed.
+	defer s.sloStop()
 
 	srv := &http.Server{Addr: addr, Handler: newMux(s)}
 	errc := make(chan error, 1)

@@ -41,6 +41,10 @@ type Revision struct {
 	Attr string `json:"attr"`
 	From string `json:"from"`
 	To   string `json:"to"`
+	// ChangeID is the observability change identifier the revision was
+	// recorded under, linking the audit trail to the event journal's
+	// per-change timeline (GET /api/changes/{id}/timeline).
+	ChangeID string `json:"change_id,omitempty"`
 	// Outcome reports whether the change took effect.
 	Outcome Outcome `json:"outcome"`
 	// Detail carries the failure reason or auxiliary execution context.

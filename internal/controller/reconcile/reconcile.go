@@ -27,6 +27,7 @@ import (
 	"cornet/internal/core"
 	"cornet/internal/inventory"
 	"cornet/internal/obs"
+	"cornet/internal/obs/events"
 	"cornet/internal/orchestrator"
 	"cornet/internal/plan/intent"
 	"cornet/internal/workflow"
@@ -145,6 +146,10 @@ func (m *Manager) Reconcile(ctx context.Context, name string) (controller.Result
 		return controller.Result{}, nil
 	}
 	now := m.cfg.Clock()
+	// The fleet's generation change id scopes everything this pass does;
+	// "fleet.<name>" is the tenant work is attributed to.
+	ctx = obs.WithChangeID(ctx, fleet.ChangeID)
+	ctx = obs.WithTenant(ctx, "fleet."+name)
 	span := obs.FromContext(ctx)
 	span.SetAttr("fleet", name)
 	span.SetAttr("generation", fleet.Generation)
@@ -170,6 +175,11 @@ func (m *Manager) Reconcile(ctx context.Context, name string) (controller.Result
 		return controller.Result{RequeueAfter: m.cfg.Resync}, nil
 	}
 	span.Event("drift-detected", "count", len(drifts))
+	events.Default.Publish(events.Event{
+		Type: events.TypeDriftDetected, Source: "reconciler",
+		ChangeID: fleet.ChangeID, Tenant: "fleet." + name,
+		Fields: map[string]any{"fleet": name, "generation": fleet.Generation, "drift": len(drifts)},
+	})
 	m.setConditions(name, fleet.Generation, len(drifts), now, ready,
 		controller.Condition{Type: controller.ConditionSynced, Status: controller.ConditionFalse,
 			Reason: "DriftDetected", Message: fmt.Sprintf("%d attribute(s) out of spec", len(drifts))})
@@ -308,7 +318,8 @@ func (m *Manager) execute(ctx context.Context, fleet Fleet, changes []orchestrat
 		}
 		rev := changelog.Revision{
 			Fleet: fleet.Spec.Name, Generation: fleet.Generation,
-			Element: drift.Element, Type: drift.Type,
+			ChangeID: fleet.ChangeID,
+			Element:  drift.Element, Type: drift.Type,
 			Attr: drift.Attr, From: drift.From, To: drift.To,
 			Time: m.cfg.Clock(),
 		}
@@ -326,6 +337,18 @@ func (m *Manager) execute(ctx context.Context, fleet Fleet, changes []orchestrat
 		}
 		metricChanges.With(fleet.Spec.Name, string(rev.Outcome)).Inc()
 		m.cfg.Journal.Append(rev)
+		evType := events.TypeDriftRepaired
+		if rev.Outcome != changelog.OutcomeApplied {
+			evType = events.TypeChangeFailed
+		}
+		events.Default.Publish(events.Event{
+			Type: evType, Source: "reconciler",
+			ChangeID: fleet.ChangeID, Tenant: "fleet." + fleet.Spec.Name,
+			Fields: map[string]any{
+				"element": rev.Element, "attr": rev.Attr, "from": rev.From, "to": rev.To,
+				"outcome": string(rev.Outcome), "detail": rev.Detail,
+			},
+		})
 	}
 	return applied, failed
 }

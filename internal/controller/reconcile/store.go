@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cornet/internal/controller"
+	"cornet/internal/obs"
 )
 
 // Spec is a declared desired fleet state: "every <nf_type> instance (in
@@ -97,9 +98,13 @@ func (s Status) clone() Status {
 // monotonically increasing generation (bumped on every spec change), and
 // the reconciler's observed status.
 type Fleet struct {
-	Spec       Spec   `json:"spec"`
-	Generation int64  `json:"generation"`
-	Status     Status `json:"status"`
+	Spec       Spec  `json:"spec"`
+	Generation int64 `json:"generation"`
+	// ChangeID is the observability change identifier minted when this
+	// generation was declared; every reconcile-driven event and journal
+	// revision for the generation carries it.
+	ChangeID string `json:"change_id,omitempty"`
+	Status   Status `json:"status"`
 }
 
 // clone deep-copies the fleet.
@@ -146,6 +151,10 @@ func (s *Store) Apply(spec Spec) (Fleet, error) {
 	if changed {
 		f.Spec = spec.clone()
 		f.Generation++
+		// Each declared generation is one logical change: mint its
+		// observability id here so every reconcile pass, event, and journal
+		// revision that drives it shares one timeline.
+		f.ChangeID = obs.NewChangeID()
 		s.fleets[spec.Name] = f
 	}
 	out := f.clone()

@@ -1,0 +1,39 @@
+package obs
+
+import "context"
+
+type changeIDKey struct{}
+
+type tenantKey struct{}
+
+// NewChangeID mints a fresh change identifier. Change IDs are minted at
+// ingress (cmd/cornetd) or when a fleet declaration changes, and threaded
+// through every subsystem a change touches — admission, engine,
+// orchestrator, verifier, reconciler — so one ID keys one end-to-end
+// timeline in the event journal.
+func NewChangeID() string { return "chg-" + newID(8) }
+
+// WithChangeID returns a context carrying the change id; event publishers
+// across the pipeline pick it up via ChangeID.
+func WithChangeID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, changeIDKey{}, id)
+}
+
+// ChangeID returns the context's change id ("" when none).
+func ChangeID(ctx context.Context) string {
+	id, _ := ctx.Value(changeIDKey{}).(string)
+	return id
+}
+
+// WithTenant returns a context carrying the requesting tenant, so event
+// publishers and per-tenant accounting deep in the pipeline can attribute
+// work without threading a tenant parameter through every signature.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// Tenant returns the context's tenant ("" when none).
+func Tenant(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
+}

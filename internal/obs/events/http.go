@@ -1,0 +1,149 @@
+package events
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// eventQueryParams is the GET /api/events query allowlist; unknown
+// parameters are a 400 so typos fail loudly.
+var eventQueryParams = map[string]bool{
+	"type": true, "change_id": true, "tenant": true, "source": true,
+	"since": true, "limit": true, "follow": true,
+}
+
+// Handler serves the journal over HTTP. A plain GET returns the retained
+// events matching the query filters (type= repeatable, change_id=,
+// tenant=, source=, since=<seq>, limit=) as a JSON array, oldest first.
+// With ?follow=1 the matched backlog is replayed and the response becomes
+// a Server-Sent Events stream (one "data:" line per event, id: set to the
+// sequence number) until the client disconnects.
+func (j *Journal) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		f, follow, err := parseFilter(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if !follow {
+			events := j.Query(f)
+			if events == nil {
+				events = []Event{}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(events)
+			return
+		}
+		j.serveSSE(w, r, f)
+	})
+}
+
+// parseFilter builds the journal filter from the request query.
+func parseFilter(r *http.Request) (Filter, bool, error) {
+	var f Filter
+	for param, vals := range r.URL.Query() {
+		if !eventQueryParams[param] {
+			return f, false, fmt.Errorf("unknown query parameter %q (valid: type, change_id, tenant, source, since, limit, follow)", param)
+		}
+		if param != "type" && len(vals) > 1 {
+			return f, false, fmt.Errorf("query parameter %q given %d times", param, len(vals))
+		}
+	}
+	q := r.URL.Query()
+	for _, t := range q["type"] {
+		f.Types = append(f.Types, Type(t))
+	}
+	f.ChangeID = q.Get("change_id")
+	f.Tenant = q.Get("tenant")
+	f.Source = q.Get("source")
+	if raw := q.Get("since"); raw != "" {
+		n, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			return f, false, fmt.Errorf("bad since %q: want a sequence number", raw)
+		}
+		f.SinceSeq = n
+	}
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			return f, false, fmt.Errorf("bad limit %q: want a non-negative integer", raw)
+		}
+		f.Limit = n
+	}
+	follow := false
+	switch q.Get("follow") {
+	case "", "0", "false":
+	case "1", "true":
+		follow = true
+	default:
+		return f, false, fmt.Errorf("bad follow %q: want 0 or 1", q.Get("follow"))
+	}
+	return f, follow, nil
+}
+
+// serveSSE replays the matching backlog and streams matching events live
+// until the client disconnects. Heartbeat comments keep idle connections
+// from being reaped by proxies.
+func (j *Journal) serveSSE(w http.ResponseWriter, r *http.Request, f Filter) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	past, sub := j.Watch(f, 256)
+	defer sub.Close()
+	for _, e := range past {
+		if writeSSE(w, e) != nil {
+			return
+		}
+	}
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case e, ok := <-sub.C:
+			if !ok {
+				return
+			}
+			if writeSSE(w, e) != nil {
+				return
+			}
+			flusher.Flush()
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one event as an SSE frame.
+func writeSSE(w http.ResponseWriter, e Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	// JSON never contains raw newlines, but stay defensive: SSE frames
+	// are newline-delimited.
+	payload := strings.ReplaceAll(string(data), "\n", "")
+	_, err = fmt.Fprintf(w, "id: %d\ndata: %s\n\n", e.Seq, payload)
+	return err
+}

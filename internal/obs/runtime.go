@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RuntimeSampler periodically samples Go runtime health into gauges: the
+// goroutine count, heap bytes in use, the last GC pause, and completed GC
+// cycles. cornetd starts one behind -runtime-sample-interval so a /metrics
+// scrape shows process health next to the change-management metrics.
+type RuntimeSampler struct {
+	goroutines *Gauge
+	heapBytes  *Gauge
+	gcPause    *Gauge
+	gcCycles   *Gauge
+	interval   time.Duration
+	stop       chan struct{}
+	done       chan struct{}
+}
+
+// StartRuntimeSampler registers the runtime gauges in r and starts a
+// sampling goroutine at the given interval (floored at one second). One
+// sample is taken synchronously before returning so the gauges are never
+// zero. Call Stop to release the goroutine.
+func StartRuntimeSampler(r *Registry, interval time.Duration) *RuntimeSampler {
+	if interval < time.Second {
+		interval = time.Second
+	}
+	s := &RuntimeSampler{
+		goroutines: r.Gauge("cornet_go_goroutines",
+			"Live goroutine count, sampled by the runtime self-sampler."),
+		heapBytes: r.Gauge("cornet_go_heap_bytes",
+			"Heap bytes in use (runtime.MemStats.HeapAlloc), sampled periodically."),
+		gcPause: r.Gauge("cornet_go_gc_pause_seconds",
+			"Most recent garbage-collection stop-the-world pause."),
+		gcCycles: r.Gauge("cornet_go_gc_cycles",
+			"Completed garbage-collection cycles since process start."),
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.sample()
+	go s.loop()
+	return s
+}
+
+func (s *RuntimeSampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sample()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *RuntimeSampler) sample() {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	s.goroutines.Set(float64(runtime.NumGoroutine()))
+	s.heapBytes.Set(float64(m.HeapAlloc))
+	if m.NumGC > 0 {
+		s.gcPause.Set(float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9)
+	}
+	s.gcCycles.Set(float64(m.NumGC))
+}
+
+// Stop halts the sampling goroutine and waits for it to exit. Idempotent
+// calls after the first panic (close of closed channel) — stop once.
+func (s *RuntimeSampler) Stop() {
+	close(s.stop)
+	<-s.done
+}

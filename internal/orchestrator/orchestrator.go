@@ -26,6 +26,8 @@ import (
 	"cornet/internal/catalog"
 	"cornet/internal/controller"
 	"cornet/internal/obs"
+	"cornet/internal/obs/events"
+	"cornet/internal/obs/tenants"
 	"cornet/internal/orchestrator/resilience"
 	"cornet/internal/workflow"
 )
@@ -240,6 +242,12 @@ func (eng *Engine) EnableBreakers(cfg resilience.BreakerConfig) *resilience.Brea
 		if to == resilience.Open {
 			metricBreakerTrips.With(api).Inc()
 		}
+		// Breaker transitions are shared across executions, so the event
+		// carries no change id — it lands in timelines only via /api/events.
+		events.Default.Publish(events.Event{
+			Type: events.TypeBreaker, Source: "orchestrator",
+			Fields: map[string]any{"api": api, "from": string(from), "to": string(to)},
+		})
 		eng.logger().LogAttrs(context.Background(), slog.LevelWarn, "circuit breaker transition",
 			slog.String("api", api), slog.String("from", string(from)), slog.String("to", string(to)))
 	}
@@ -345,6 +353,12 @@ func (eng *Engine) run(ctx context.Context, dep *workflow.Deployment, exec *Exec
 	ctx, wsp := obs.StartSpan(ctx, "wf.execute")
 	wsp.SetAttr("workflow", exec.Workflow)
 	wsp.SetAttr("instance", exec.Instance)
+	changeID, tenant := obs.ChangeID(ctx), obs.Tenant(ctx)
+	events.Default.Publish(events.Event{
+		Type: events.TypeWfStart, Source: "orchestrator",
+		ChangeID: changeID, Tenant: tenant,
+		Fields: map[string]any{"workflow": exec.Workflow, "instance": exec.Instance},
+	})
 	log := eng.logger()
 	log.LogAttrs(ctx, slog.LevelInfo, "workflow started",
 		slog.String("workflow", exec.Workflow), slog.String("instance", exec.Instance))
@@ -356,6 +370,19 @@ func (eng *Engine) run(ctx context.Context, dep *workflow.Deployment, exec *Exec
 		}
 		wsp.End()
 		metricWfExecutions.With(exec.Workflow, string(st)).Inc()
+		blocks := int64(len(exec.snapshotLogs()))
+		tenants.Default.RecordBlocks(tenant, blocks)
+		fields := map[string]any{
+			"workflow": exec.Workflow, "instance": exec.Instance,
+			"status": string(st), "blocks": blocks,
+		}
+		if errMsg != "" {
+			fields["error"] = errMsg
+		}
+		events.Default.Publish(events.Event{
+			Type: events.TypeWfEnd, Source: "orchestrator",
+			ChangeID: changeID, Tenant: tenant, Fields: fields,
+		})
 		lvl := slog.LevelInfo
 		if st == StatusFailure || st == StatusRolledBack {
 			lvl = slog.LevelWarn
@@ -504,6 +531,14 @@ func (eng *Engine) runTask(ctx context.Context, dep *workflow.Deployment, exec *
 		metricWfFailureActions.With(node.Block, string(action)).Inc()
 		obs.FromContext(ctx).Event("failure-action",
 			"node", node.ID, "action", string(action), "err", err.Error())
+		events.Default.Publish(events.Event{
+			Type: events.TypeFailureAction, Source: "orchestrator",
+			ChangeID: obs.ChangeID(ctx), Tenant: obs.Tenant(ctx),
+			Fields: map[string]any{
+				"workflow": exec.Workflow, "node": node.ID, "block": node.Block,
+				"action": string(action), "error": err.Error(),
+			},
+		})
 		eng.logger().LogAttrs(ctx, slog.LevelWarn, "block failure action",
 			slog.String("workflow", exec.Workflow), slog.String("node", node.ID),
 			slog.String("action", string(action)), slog.String("err", err.Error()))
@@ -556,6 +591,14 @@ func (eng *Engine) invokeBlock(ctx context.Context, exec *Execution, node *workf
 		onRetry: func(attempt int, delay time.Duration, err error) {
 			metricBBRetries.With(node.Block).Inc()
 			bsp.Event("retry", "attempt", attempt, "delay", delay.String(), "err", err.Error())
+			events.Default.Publish(events.Event{
+				Type: events.TypeBlockRetry, Source: "orchestrator",
+				ChangeID: obs.ChangeID(ctx), Tenant: obs.Tenant(ctx),
+				Fields: map[string]any{
+					"workflow": exec.Workflow, "node": node.ID, "block": node.Block,
+					"attempt": attempt, "backoff_ns": delay.Nanoseconds(), "error": err.Error(),
+				},
+			})
 			eng.logger().LogAttrs(ctx, slog.LevelWarn, "block retry scheduled",
 				slog.String("workflow", exec.Workflow), slog.String("node", node.ID),
 				slog.String("block", node.Block), slog.Int("attempt", attempt),
@@ -589,6 +632,11 @@ func (eng *Engine) invokeBlock(ctx context.Context, exec *Execution, node *workf
 	if node.Block == catalog.BBRollback && err == nil {
 		obs.FromContext(ctx).SetAttr("rollback", true)
 		metricWfRollbacks.Inc()
+		events.Default.Publish(events.Event{
+			Type: events.TypeRollback, Source: "orchestrator",
+			ChangeID: obs.ChangeID(ctx), Tenant: obs.Tenant(ctx),
+			Fields: map[string]any{"workflow": exec.Workflow, "node": node.ID, "block": node.Block},
+		})
 	}
 	lvl := slog.LevelInfo
 	if err != nil {
@@ -716,6 +764,14 @@ func (eng *Engine) compensate(ctx context.Context, dep *workflow.Deployment, exe
 	metricBBDuration.With(comp).Observe(entry.Duration.Seconds())
 	obs.FromContext(ctx).SetAttr("rollback", true)
 	metricWfRollbacks.Inc()
+	events.Default.Publish(events.Event{
+		Type: events.TypeRollback, Source: "orchestrator",
+		ChangeID: obs.ChangeID(ctx), Tenant: obs.Tenant(ctx),
+		Fields: map[string]any{
+			"workflow": exec.Workflow, "node": node.ID, "block": comp,
+			"compensation": true, "status": string(entry.Status),
+		},
+	})
 	lvl := slog.LevelInfo
 	if err != nil {
 		lvl = slog.LevelWarn

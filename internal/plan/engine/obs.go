@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"cornet/internal/obs"
+	"cornet/internal/obs/events"
 )
 
 // Planning metrics, recorded on every request in the process-wide
@@ -30,9 +31,15 @@ var (
 func runBackend(ctx context.Context, b Backend, req *Request, opt Options) (Result, Stats, error) {
 	name := b.Name()
 	bctx, sp := obs.StartSpan(ctx, "plan.backend."+name)
+	changeID, tenant := obs.ChangeID(ctx), obs.Tenant(ctx)
 	opt.incumbent = func(kv ...any) {
 		metricIncumbents.With(name).Inc()
 		sp.Event("incumbent-improved", kv...)
+		events.Default.Publish(events.Event{
+			Type: events.TypeIncumbent, Source: "engine",
+			ChangeID: changeID, Tenant: tenant,
+			Fields: map[string]any{"backend": name},
+		})
 	}
 	res, st, err := b.Solve(bctx, req, opt)
 	if err != nil && st.Err == "" {
@@ -64,6 +71,18 @@ func runBackend(ctx context.Context, b Backend, req *Request, opt Options) (Resu
 	if st.Nodes > 0 {
 		metricBackendNodes.With(name).Add(float64(st.Nodes))
 	}
+	fields := map[string]any{
+		"backend": name,
+		"wall_ns": st.Wall.Nanoseconds(),
+		"nodes":   st.Nodes,
+	}
+	if err != nil {
+		fields["error"] = err.Error()
+	}
+	events.Default.Publish(events.Event{
+		Type: events.TypeBackendDone, Source: "engine",
+		ChangeID: changeID, Tenant: tenant, Fields: fields,
+	})
 	return res, st, err
 }
 

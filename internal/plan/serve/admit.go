@@ -10,6 +10,9 @@ import (
 	"time"
 
 	"cornet/internal/controller"
+	"cornet/internal/obs"
+	"cornet/internal/obs/events"
+	"cornet/internal/obs/tenants"
 )
 
 // Shed reasons reported in ShedError and the cornet_admission_shed_total
@@ -86,13 +89,14 @@ func (c AdmitConfig) withDefaults() AdmitConfig {
 // a worker) or 2 (abandoned by its submitter); the CAS loser defers to
 // the winner.
 type job struct {
-	ctx   context.Context
-	run   func()
-	done  chan struct{}
-	state atomic.Int32
-	enq   time.Time
-	wait  time.Duration
-	err   error
+	ctx    context.Context
+	tenant string
+	run    func()
+	done   chan struct{}
+	state  atomic.Int32
+	enq    time.Time
+	wait   time.Duration
+	err    error
 }
 
 // Admitter is the serving layer's admission controller: a bounded queue
@@ -141,22 +145,22 @@ func (a *Admitter) Submit(ctx context.Context, tenant string, run func()) (time.
 	}
 	if a.pending >= a.cfg.QueueLimit {
 		a.mu.Unlock()
-		metricShed.With(ShedQueueFull).Inc()
+		a.shed(ctx, tenant, ShedQueueFull)
 		return 0, &ShedError{Reason: ShedQueueFull, RetryAfter: a.retryAfter()}
 	}
 	if len(a.queues[tenant]) >= a.cfg.TenantQuota {
 		a.mu.Unlock()
-		metricShed.With(ShedTenantQuota).Inc()
+		a.shed(ctx, tenant, ShedTenantQuota)
 		return 0, &ShedError{Reason: ShedTenantQuota, RetryAfter: a.retryAfter()}
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		if est := a.estWaitLocked(); est > 0 && time.Now().Add(est).After(dl) {
 			a.mu.Unlock()
-			metricShed.With(ShedDeadline).Inc()
+			a.shed(ctx, tenant, ShedDeadline)
 			return 0, &ShedError{Reason: ShedDeadline, RetryAfter: a.retryAfter()}
 		}
 	}
-	j := &job{ctx: ctx, run: run, done: make(chan struct{}), enq: time.Now()}
+	j := &job{ctx: ctx, tenant: tenant, run: run, done: make(chan struct{}), enq: time.Now()}
 	a.queues[tenant] = append(a.queues[tenant], j)
 	a.pending++
 	metricQueueDepth.Set(float64(a.pending))
@@ -168,7 +172,7 @@ func (a *Admitter) Submit(ctx context.Context, tenant string, run func()) (time.
 		return j.wait, j.err
 	case <-ctx.Done():
 		if j.state.CompareAndSwap(0, 2) {
-			metricShed.With(ShedAbandoned).Inc()
+			a.shed(ctx, tenant, ShedAbandoned)
 			return time.Since(j.enq), ctx.Err()
 		}
 		// A worker claimed the job first; its result stands.
@@ -267,15 +271,32 @@ func (a *Admitter) runJob(j *job) {
 	metricWait.Observe(j.wait.Seconds())
 	if err := j.ctx.Err(); err != nil {
 		j.err = err
-		metricShed.With(ShedDeadline).Inc()
+		a.shed(j.ctx, j.tenant, ShedDeadline)
 		close(j.done)
 		return
 	}
+	events.Default.Publish(events.Event{
+		Type: events.TypeAdmitted, Source: "admission",
+		ChangeID: obs.ChangeID(j.ctx), Tenant: j.tenant,
+		Fields: map[string]any{"wait_ns": j.wait.Nanoseconds()},
+	})
 	start := time.Now()
 	j.run()
 	a.observe(time.Since(start))
 	metricServed.Inc()
 	close(j.done)
+}
+
+// shed records one refused request: the global shed metric, the tenant's
+// account, and an admission.shed journal event.
+func (a *Admitter) shed(ctx context.Context, tenant, reason string) {
+	metricShed.With(reason).Inc()
+	tenants.Default.RecordShed(tenant)
+	events.Default.Publish(events.Event{
+		Type: events.TypeShed, Source: "admission",
+		ChangeID: obs.ChangeID(ctx), Tenant: tenant,
+		Fields: map[string]any{"reason": reason},
+	})
 }
 
 // observe folds one service time into the EWMA estimate.

@@ -14,6 +14,9 @@ import (
 
 	"cornet/internal/core"
 	"cornet/internal/inventory"
+	"cornet/internal/obs"
+	"cornet/internal/obs/events"
+	"cornet/internal/obs/tenants"
 	"cornet/internal/plan/cache"
 	"cornet/internal/plan/intent"
 	"cornet/internal/plan/model"
@@ -121,6 +124,8 @@ type outcome struct {
 // cache — the local search is not canonically keyed — but still queue
 // through admission.
 func (s *Server) Plan(ctx context.Context, tenant string, req *intent.Request, inv *inventory.Inventory, opt core.PlanOptions) (*Response, error) {
+	ctx = obs.WithTenant(ctx, tenant)
+	start := time.Now()
 	b, err := s.f.BuildPlanRequest(ctx, req, inv, opt)
 	if err != nil {
 		return nil, err
@@ -130,16 +135,30 @@ func (s *Server) Plan(ctx context.Context, tenant string, req *intent.Request, i
 		if err != nil {
 			return nil, err
 		}
-		return &Response{Result: res, Wait: wait}, nil
+		resp := &Response{Result: res, Wait: wait}
+		s.served(ctx, tenant, resp, time.Since(start), true)
+		return resp, nil
 	}
 
 	key := b.Req.Model.Fingerprint() + "|" + string(b.Policy)
 	if e, ok := s.cache.Get(key); ok {
 		metricCacheHits.Inc()
 		metricCacheEntries.Set(float64(s.cache.Len()))
-		return &Response{Result: e.Value.(*core.PlanResult), CacheHit: true, Key: key}, nil
+		events.Default.Publish(events.Event{
+			Type: events.TypeCacheHit, Source: "serve",
+			ChangeID: obs.ChangeID(ctx), Tenant: tenant,
+			Fields: map[string]any{"key": key},
+		})
+		resp := &Response{Result: e.Value.(*core.PlanResult), CacheHit: true, Key: key}
+		s.served(ctx, tenant, resp, time.Since(start), true)
+		return resp, nil
 	}
 	metricCacheMisses.Inc()
+	events.Default.Publish(events.Event{
+		Type: events.TypeCacheMiss, Source: "serve",
+		ChangeID: obs.ChangeID(ctx), Tenant: tenant,
+		Fields: map[string]any{"key": key},
+	})
 
 	v, shared, err := s.flight.Do(ctx, key, func() (any, error) {
 		ropt := opt
@@ -148,6 +167,11 @@ func (s *Server) Plan(ctx context.Context, tenant string, req *intent.Request, i
 			ropt.Warm = seed
 			warm = true
 			metricWarmStarts.Inc()
+			events.Default.Publish(events.Event{
+				Type: events.TypeWarmStart, Source: "serve",
+				ChangeID: obs.ChangeID(ctx), Tenant: tenant,
+				Fields: map[string]any{"key": key, "seed_items": len(seed)},
+			})
 		}
 		res, wait, err := s.solve(ctx, tenant, b, ropt)
 		if err != nil {
@@ -164,7 +188,46 @@ func (s *Server) Plan(ctx context.Context, tenant string, req *intent.Request, i
 		metricShared.Inc()
 	}
 	o := v.(*outcome)
-	return &Response{Result: o.res, Shared: shared, Warm: o.warm, Key: key, Wait: o.wait}, nil
+	resp := &Response{Result: o.res, Shared: shared, Warm: o.warm, Key: key, Wait: o.wait}
+	// Solve cost is attributed once, to the singleflight leader; followers
+	// rode the same solve for free.
+	s.served(ctx, tenant, resp, time.Since(start), !shared)
+	return resp, nil
+}
+
+// served publishes the plan.served journal event and attributes the
+// request to the tenant's account. leader reports whether this request
+// paid for the solve (false for singleflight followers).
+func (s *Server) served(ctx context.Context, tenant string, resp *Response, elapsed time.Duration, leader bool) {
+	var solveWall time.Duration
+	var nodes int64
+	if leader && !resp.CacheHit && resp.Result != nil {
+		for _, st := range resp.Result.Stats {
+			if st.Winner {
+				solveWall = st.Wall
+			}
+			nodes += st.Nodes
+		}
+	}
+	method := ""
+	if resp.Result != nil {
+		method = resp.Result.Method
+	}
+	events.Default.Publish(events.Event{
+		Type: events.TypePlanServed, Source: "serve",
+		ChangeID: obs.ChangeID(ctx), Tenant: tenant,
+		Fields: map[string]any{
+			"wall_ns":  elapsed.Nanoseconds(),
+			"wait_ns":  resp.Wait.Nanoseconds(),
+			"solve_ns": solveWall.Nanoseconds(),
+			"nodes":    nodes,
+			"method":   method,
+			"cache":    resp.CacheHit,
+			"warm":     resp.Warm,
+			"shared":   resp.Shared,
+		},
+	})
+	tenants.Default.RecordPlan(tenant, resp.CacheHit, resp.Warm, resp.Wait, solveWall, nodes)
 }
 
 // solve runs the built request through admission onto the engine.

@@ -22,6 +22,7 @@ import (
 
 	"cornet/internal/inventory"
 	"cornet/internal/obs"
+	"cornet/internal/obs/events"
 	"cornet/internal/verify/kpi"
 	"cornet/internal/verify/stats"
 )
@@ -230,6 +231,15 @@ feed:
 	vsp.SetAttr("kpis", len(results))
 	metricVerifyRuns.With(decision).Inc()
 	metricVerifyWall.With(rule.Name).Observe(report.Elapsed.Seconds())
+	events.Default.Publish(events.Event{
+		Type: events.TypeVerifyReport, Source: "verifier",
+		ChangeID: obs.ChangeID(ctx), Tenant: obs.Tenant(ctx),
+		Fields: map[string]any{
+			"rule": rule.Name, "go": report.Go, "kpis": len(results),
+			"study": len(study), "control": len(control),
+			"wall_ns": report.Elapsed.Nanoseconds(),
+		},
+	})
 	return report, nil
 }
 
