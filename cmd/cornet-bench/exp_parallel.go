@@ -35,9 +35,23 @@ type benchEntry struct {
 	NodesPerSec float64 `json:"nodes_per_sec,omitempty"`
 	// DomainPrunes counts start slots removed by the solver's capacity
 	// forward-checking (solver backend only).
-	DomainPrunes int64   `json:"domain_prunes,omitempty"`
-	SpeedupVs1   float64 `json:"speedup_vs_1"`
-	Objective    int64   `json:"objective"`
+	DomainPrunes int64 `json:"domain_prunes,omitempty"`
+	// Steals/Splits/ReplayNodes are the work-stealing scheduler's totals
+	// (solver backend, workers > 1 only).
+	Steals      int64   `json:"steals,omitempty"`
+	Splits      int64   `json:"splits,omitempty"`
+	ReplayNodes int64   `json:"replay_nodes,omitempty"`
+	SpeedupVs1  float64 `json:"speedup_vs_1"`
+	Objective   int64   `json:"objective"`
+	// GOMAXPROCS and NumCPU record the host's effective and physical core
+	// counts at measurement time, so each entry is self-describing even
+	// when extracted from the report.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// Degraded marks entries whose requested worker count exceeds the
+	// cores actually available: wall-clock speedup cannot show and the
+	// entry must not be read as a scaling datapoint.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // benchReport is the BENCH_plan.json schema.
@@ -94,18 +108,23 @@ func runBenchParallel(quick bool) error {
 	if err != nil {
 		return err
 	}
-	workerCounts := []int{1, 2, 4}
+	workerCounts := []int{1, 2, 4, 8}
+	gmp, ncpu := runtime.GOMAXPROCS(0), runtime.NumCPU()
+	avail := gmp
+	if ncpu < avail {
+		avail = ncpu
+	}
 	report := benchReport{
 		Scenario:   "dense-template uniformity+localize (Section 4.2)",
 		Instances:  sub.Len(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: gmp,
+		NumCPU:     ncpu,
 	}
-	if report.NumCPU == 1 || report.GOMAXPROCS == 1 {
+	if ncpu == 1 || gmp == 1 {
 		report.Note = "single-core host: speedup_vs_1 is flat by construction; rerun on a multi-core host for the scaling curve"
 	}
-	fmt.Printf("scenario: %d instances, uniformity+localize, node budget %d, %d reps (GOMAXPROCS=%d)\n\n",
-		sub.Len(), nodeBudget, reps, report.GOMAXPROCS)
+	fmt.Printf("scenario: %d instances, uniformity+localize, node budget %d, %d reps (GOMAXPROCS=%d, NumCPU=%d)\n\n",
+		sub.Len(), nodeBudget, reps, gmp, ncpu)
 
 	// Solver: fixed node budget, so speedup is wall-clock for the same
 	// exploration effort.
@@ -113,7 +132,7 @@ func runBenchParallel(quick bool) error {
 	var solverBase float64
 	for _, w := range workerCounts {
 		var elapsed time.Duration
-		var nodes, prunes, objective int64
+		var nodes, prunes, steals, splits, replay, objective int64
 		for rep := 0; rep < reps; rep++ {
 			start := time.Now()
 			sched, err := solver.Solve(tr.Model, solver.Options{
@@ -125,6 +144,9 @@ func runBenchParallel(quick bool) error {
 			}
 			nodes += sched.Nodes
 			prunes += sched.DomainPrunes
+			steals += sched.Steals
+			splits += sched.Splits
+			replay += sched.ReplayNodes
 			objective = sched.Cost
 		}
 		nsPerOp := elapsed.Nanoseconds() / int64(reps)
@@ -135,11 +157,20 @@ func runBenchParallel(quick bool) error {
 		} else if nsPerOp > 0 {
 			speedup = solverBase / float64(nsPerOp)
 		}
+		degraded := w > avail
+		if degraded {
+			fmt.Fprintf(os.Stderr,
+				"warning: workers=%d exceeds available cores (%d); entry marked degraded — not a scaling datapoint\n",
+				w, avail)
+		}
 		report.Entries = append(report.Entries, benchEntry{
 			Backend: "solver", Workers: w, Reps: reps, NsPerOp: nsPerOp,
 			Nodes: nodes / int64(reps), NodesPerSec: nodesPerSec,
 			DomainPrunes: prunes / int64(reps),
-			SpeedupVs1:   speedup, Objective: objective,
+			Steals:       steals / int64(reps), Splits: splits / int64(reps),
+			ReplayNodes: replay / int64(reps),
+			SpeedupVs1:  speedup, Objective: objective,
+			GOMAXPROCS: gmp, NumCPU: ncpu, Degraded: degraded,
 		})
 		fmt.Printf("%-10s %8d %14d %14.0f %9.2fx\n", "solver", w, nsPerOp, nodesPerSec, speedup)
 	}
@@ -171,6 +202,7 @@ func runBenchParallel(quick bool) error {
 		report.Entries = append(report.Entries, benchEntry{
 			Backend: "heuristic", Workers: w, Reps: reps, NsPerOp: nsPerOp,
 			SpeedupVs1: speedup, Objective: objective,
+			GOMAXPROCS: gmp, NumCPU: ncpu, Degraded: w > avail,
 		})
 		fmt.Printf("%-10s %8d %14d %14s %9.2fx\n", "heuristic", w, nsPerOp, "-", speedup)
 	}

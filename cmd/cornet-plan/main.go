@@ -144,6 +144,10 @@ func main() {
 			if st.DomainPrunes > 0 {
 				line += fmt.Sprintf(" domain_prunes=%d", st.DomainPrunes)
 			}
+			if st.Splits > 0 || st.Steals > 0 {
+				line += fmt.Sprintf(" steals=%d splits=%d replay_nodes=%d",
+					st.Steals, st.Splits, st.ReplayNodes)
+			}
 			if st.TimedOut {
 				line += " timed_out=true"
 			}

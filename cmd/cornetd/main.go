@@ -491,6 +491,9 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Restarts       int    `json:"restarts,omitempty"`
 		Workers        int    `json:"workers,omitempty"`
 		NodesPerWorker int64  `json:"nodes_per_worker,omitempty"`
+		Steals         int64  `json:"steals,omitempty"`
+		Splits         int64  `json:"splits,omitempty"`
+		ReplayNodes    int64  `json:"replay_nodes,omitempty"`
 		Objective      int64  `json:"objective"`
 		Conflicts      int    `json:"conflicts"`
 		TimedOut       bool   `json:"timed_out,omitempty"`
@@ -502,6 +505,7 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		stats = append(stats, backendStats{
 			Backend: st.Backend, WallNS: int64(st.Wall), Nodes: st.Nodes,
 			Restarts: st.Restarts, Workers: st.Workers, NodesPerWorker: st.NodesPerWorker,
+			Steals: st.Steals, Splits: st.Splits, ReplayNodes: st.ReplayNodes,
 			Objective: st.Objective, Conflicts: st.Conflicts,
 			TimedOut: st.TimedOut, Winner: st.Winner, Err: st.Err,
 		})

@@ -200,6 +200,9 @@ func contract(m *model.Model) (*model.Model, func(model.Schedule) model.Schedule
 		out.Nodes = s.Nodes
 		out.Workers = s.Workers
 		out.DomainPrunes = s.DomainPrunes
+		out.Steals = s.Steals
+		out.Splits = s.Splits
+		out.ReplayNodes = s.ReplayNodes
 		out.Warm = s.Warm
 		return out
 	}
@@ -508,7 +511,7 @@ func SolveContext(ctx context.Context, m *model.Model, opt SolveOptions) (model.
 	slots := make([]int, len(work.Items))
 	optimal := true
 	warm := false
-	var nodes, prunes int64
+	var nodes, prunes, steals, splits, replay int64
 	workers := 0
 	for i, r := range results {
 		if !solved[i] {
@@ -521,6 +524,9 @@ func SolveContext(ctx context.Context, m *model.Model, opt SolveOptions) (model.
 		warm = warm || r.Warm
 		nodes += r.Nodes
 		prunes += r.DomainPrunes
+		steals += r.Steals
+		splits += r.Splits
+		replay += r.ReplayNodes
 		if r.Workers > workers {
 			workers = r.Workers
 		}
@@ -533,6 +539,9 @@ func SolveContext(ctx context.Context, m *model.Model, opt SolveOptions) (model.
 	merged.Nodes = nodes
 	merged.Workers = workers
 	merged.DomainPrunes = prunes
+	merged.Steals = steals
+	merged.Splits = splits
+	merged.ReplayNodes = replay
 	merged.Warm = warm
 	if v := work.Check(slots); len(v) > 0 {
 		return model.Schedule{}, fmt.Errorf("decompose: merged schedule infeasible: %v", v[0])

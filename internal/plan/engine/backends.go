@@ -29,6 +29,20 @@ func chainIncumbent(prev func(cost, nodes int64), notify func(kv ...any)) func(c
 	}
 }
 
+// chainSteal composes a caller-supplied solver steal callback with the
+// engine's instrumentation notifier.
+func chainSteal(prev, notify func(steals, splits, replayNodes int64)) func(steals, splits, replayNodes int64) {
+	if notify == nil {
+		return prev
+	}
+	return func(steals, splits, replayNodes int64) {
+		if prev != nil {
+			prev(steals, splits, replayNodes)
+		}
+		notify(steals, splits, replayNodes)
+	}
+}
+
 // softBudget caps a backend's soft time budget at ~90% of the context
 // deadline, leaving headroom to assemble and return the best incumbent
 // before the hard deadline cancels the search outright.
@@ -61,6 +75,9 @@ func fromSchedule(req *Request, sched model.Schedule, st *Stats) Result {
 		st.NodesPerWorker = st.Nodes / int64(st.Workers)
 	}
 	st.DomainPrunes = sched.DomainPrunes
+	st.Steals = sched.Steals
+	st.Splits = sched.Splits
+	st.ReplayNodes = sched.ReplayNodes
 	st.WarmStart = sched.Warm
 	var assignment map[string]int
 	var leftovers []string
@@ -97,6 +114,7 @@ func (CPBackend) Solve(ctx context.Context, req *Request, opt Options) (Result, 
 		sopt.Parallelism = opt.Parallelism
 	}
 	sopt.OnIncumbent = chainIncumbent(sopt.OnIncumbent, opt.incumbent)
+	sopt.OnSteal = chainSteal(sopt.OnSteal, opt.steal)
 	start := time.Now()
 	sched, err := solver.SolveContext(ctx, req.Model, sopt)
 	st.Wall = time.Since(start)
@@ -131,6 +149,7 @@ func (b DecomposedBackend) Solve(ctx context.Context, req *Request, opt Options)
 		sopt.Parallelism = opt.Parallelism
 	}
 	sopt.OnIncumbent = chainIncumbent(sopt.OnIncumbent, opt.incumbent)
+	sopt.OnSteal = chainSteal(sopt.OnSteal, opt.steal)
 	start := time.Now()
 	sched, err := decompose.SolveContext(ctx, req.Model, decompose.SolveOptions{
 		Solver:      sopt,
@@ -158,6 +177,13 @@ func (HeuristicBackend) Solve(ctx context.Context, req *Request, opt Options) (R
 	inst.TimeLimit = softBudget(ctx, inst.TimeLimit)
 	if inst.Parallelism == 0 {
 		inst.Parallelism = opt.Parallelism
+	}
+	if inst.LNSRestarts == 0 && req.Size >= 5000 {
+		// Large instances benefit from re-searching the best permutation's
+		// neighborhoods; match the restart count (or its documented default).
+		if inst.LNSRestarts = inst.Restarts; inst.LNSRestarts == 0 {
+			inst.LNSRestarts = 8
+		}
 	}
 	if notify := opt.incumbent; notify != nil {
 		prev := inst.OnImprovement

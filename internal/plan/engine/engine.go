@@ -117,6 +117,16 @@ type Stats struct {
 	// domains via capacity forward-checking (0 for backends without
 	// domain propagation).
 	DomainPrunes int64
+	// Steals counts subtree tasks idle workers took from peers during a
+	// work-stealing parallel solver search (0 when sequential or
+	// heuristic).
+	Steals int64
+	// Splits counts search nodes the solver published as stealable
+	// subtree descriptors.
+	Splits int64
+	// ReplayNodes counts prefix decisions thieves replayed to
+	// reconstruct stolen subtrees — the search's load-balancing overhead.
+	ReplayNodes int64
 	// WarmStart reports that the backend's search was seeded with a
 	// cached incumbent (Options.Solver.WarmSlots) instead of solving
 	// cold.
@@ -142,17 +152,22 @@ type Options struct {
 	ScaleThreshold int
 	// Solver bounds the CP search of the model-driven backends.
 	Solver SolverLimits
-	// Parallelism is the per-backend search worker count: branch-and-bound
-	// root-splitting workers for the model-driven backends, restart pool
-	// size for the heuristic. 0 means GOMAXPROCS; 1 forces sequential
-	// search. A non-zero Solver.Parallelism takes precedence for the
-	// model-driven backends.
+	// Parallelism is the per-backend search worker count: work-stealing
+	// branch-and-bound workers for the model-driven backends, restart
+	// pool size for the heuristic. 0 means GOMAXPROCS; 1 forces
+	// sequential search. A non-zero Solver.Parallelism takes precedence
+	// for the model-driven backends.
 	Parallelism int
 
 	// incumbent receives incumbent-improvement notifications from the
 	// backends as alternating key/value pairs. Unexported: the engine sets
 	// it per backend run to emit trace events and metrics.
 	incumbent func(kv ...any)
+	// steal receives work-stealing totals from parallel solver searches
+	// (once per search; a decomposed solve reports per component).
+	// Unexported: the engine sets it per backend run to emit the
+	// steal-rate trace event and update the solver steal metrics.
+	steal func(steals, splits, replayNodes int64)
 }
 
 // Backend is one interchangeable planning implementation. Implementations

@@ -261,3 +261,41 @@ func TestCPBackendSolvesRawModel(t *testing.T) {
 		t.Fatalf("result = %+v", res)
 	}
 }
+
+func TestFromScheduleCopiesStealCounters(t *testing.T) {
+	req := &Request{Model: testModel(4, 2)}
+	sched := model.Schedule{
+		Slots: []int{0, 0, 1, 1}, Cost: 7, Optimal: true, Workers: 4,
+		Nodes: 100, Steals: 3, Splits: 9, ReplayNodes: 21,
+	}
+	var st Stats
+	fromSchedule(req, sched, &st)
+	if st.Steals != 3 || st.Splits != 9 || st.ReplayNodes != 21 {
+		t.Fatalf("steal counters not copied: %+v", st)
+	}
+}
+
+func TestChainStealComposesAndTolerantOfNil(t *testing.T) {
+	if chainSteal(nil, nil) != nil {
+		t.Fatal("nil+nil should stay nil (solver skips the callback entirely)")
+	}
+	var order []string
+	prev := func(s, sp, r int64) { order = append(order, fmt.Sprintf("prev:%d/%d/%d", s, sp, r)) }
+	notify := func(s, sp, r int64) { order = append(order, fmt.Sprintf("notify:%d/%d/%d", s, sp, r)) }
+	if got := chainSteal(prev, nil); got == nil {
+		t.Fatal("prev must survive a nil notifier")
+	} else {
+		got(1, 2, 3)
+	}
+	chainSteal(prev, notify)(4, 5, 6)
+	chainSteal(nil, notify)(7, 8, 9)
+	want := []string{"prev:1/2/3", "prev:4/5/6", "notify:4/5/6", "notify:7/8/9"}
+	if len(order) != len(want) {
+		t.Fatalf("calls %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("call %d = %s, want %s", i, order[i], want[i])
+		}
+	}
+}

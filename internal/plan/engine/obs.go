@@ -22,6 +22,12 @@ var (
 		"Branch-and-bound nodes explored by the model-driven backends.", "backend")
 	metricIncumbents = obs.Default.CounterVec("cornet_plan_incumbent_improvements_total",
 		"Strictly better incumbents published during search, by backend.", "backend")
+	metricSolverSteals = obs.Default.CounterVec("cornet_solver_steals_total",
+		"Subtree tasks stolen by idle solver workers, by backend.", "backend")
+	metricSolverSplits = obs.Default.CounterVec("cornet_solver_splits_total",
+		"Search nodes published as stealable subtree descriptors, by backend.", "backend")
+	metricSolverReplayNodes = obs.Default.CounterVec("cornet_solver_replay_nodes_total",
+		"Prefix decisions replayed by thieves when adopting stolen subtrees, by backend.", "backend")
 )
 
 // runBackend solves one backend under its own trace span, wiring the
@@ -41,6 +47,23 @@ func runBackend(ctx context.Context, b Backend, req *Request, opt Options) (Resu
 			Fields: map[string]any{"backend": name},
 		})
 	}
+	opt.steal = func(steals, splits, replayNodes int64) {
+		// May fire once per component on a decomposed solve; counters
+		// accumulate and the span keeps one event per search.
+		if steals > 0 {
+			metricSolverSteals.With(name).Add(float64(steals))
+		}
+		if splits > 0 {
+			metricSolverSplits.With(name).Add(float64(splits))
+		}
+		if replayNodes > 0 {
+			metricSolverReplayNodes.With(name).Add(float64(replayNodes))
+		}
+		if splits > 0 || steals > 0 {
+			sp.Event("steal-rate",
+				"steals", steals, "splits", splits, "replay_nodes", replayNodes)
+		}
+	}
 	res, st, err := b.Solve(bctx, req, opt)
 	if err != nil && st.Err == "" {
 		st.Err = err.Error()
@@ -57,6 +80,11 @@ func runBackend(ctx context.Context, b Backend, req *Request, opt Options) (Resu
 	}
 	if st.Workers > 0 {
 		sp.SetAttr("workers", st.Workers)
+	}
+	if st.Splits > 0 || st.Steals > 0 {
+		sp.SetAttr("steals", st.Steals)
+		sp.SetAttr("splits", st.Splits)
+		sp.SetAttr("replay_nodes", st.ReplayNodes)
 	}
 	if err == nil {
 		sp.SetAttr("objective", st.Objective)

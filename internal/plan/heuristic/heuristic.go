@@ -48,6 +48,16 @@ type Instance struct {
 	// Restarts is the number of market permutations tried per timezone
 	// (the local-search loop of Algorithm 1). Defaults to 8.
 	Restarts int
+	// LNSRestarts adds a large-neighborhood-search phase after the base
+	// restarts: the best permutation of the base phase is perturbed by
+	// re-shuffling one seeded random contiguous window of markets per LNS
+	// restart, and the passes feed the same reducer — so the result is
+	// never worse than the base phase and stays parallelism-invariant
+	// (each perturbation derives from (Seed, timezone, Restarts+j)). 0
+	// disables the phase; the planning engine enables it automatically
+	// for large instances, where re-searching a neighborhood of a good
+	// permutation beats more blind restarts.
+	LNSRestarts int
 	// Parallelism is the restart worker-pool size: within each timezone
 	// the restarts run concurrently, reduced to the best candidate under a
 	// mutex. 0 means GOMAXPROCS; 1 runs the restarts sequentially. Every
@@ -398,21 +408,15 @@ func restartSeed(seed int64, tz, restart int) int64 {
 // outcome a pure function of the candidate set, independent of worker
 // count and goroutine scheduling.
 func solveTimezone(inst Instance, sp subProblem, committed *capTracker, startSlot int, tz string, tzIndex int, bud *budget) Result {
-	workers := inst.workerCount()
-	if workers > inst.Restarts {
-		workers = inst.Restarts
-	}
-	if workers < 1 {
-		workers = 1
-	}
 	var (
 		mu          sync.Mutex
 		best        Result
+		bestPerm    []string
 		bestRestart int
 		bestSet     bool
 		bestAborted bool
 	)
-	reduce := func(cand Result, restart int, aborted bool) {
+	reduce := func(cand Result, perm []string, restart int, aborted bool) {
 		mu.Lock()
 		defer mu.Unlock()
 		take, improved := false, false
@@ -429,49 +433,90 @@ func solveTimezone(inst Instance, sp subProblem, committed *capTracker, startSlo
 			take = true // equal rank: canonical lowest-restart tie-break
 		}
 		if take {
-			best, bestRestart, bestSet, bestAborted = cand, restart, true, aborted
+			best, bestPerm, bestRestart, bestSet, bestAborted = cand, perm, restart, true, aborted
 			if improved && inst.OnImprovement != nil {
 				inst.OnImprovement(tz, restart)
 			}
 		}
 	}
-	var next atomic.Int64
-	forks := make([]*budget, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wbud := bud.fork()
-		forks[w] = wbud
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				restart := int(next.Add(1)) - 1
-				if restart >= inst.Restarts {
-					return
+	// runPool deals restart indexes [base, base+count) to the worker pool;
+	// permFor derives each pass's market permutation. Index base+j labels
+	// the pass in the reducer's canonical tie-break, so pool phases compose
+	// deterministically.
+	runPool := func(count, base int, permFor func(j int) []string) {
+		workers := inst.workerCount()
+		if workers > count {
+			workers = count
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		var next atomic.Int64
+		forks := make([]*budget, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wbud := bud.fork()
+			forks[w] = wbud
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= count {
+						return
+					}
+					// Restart 0 always runs — it is the pass a budget trip
+					// degrades to; later restarts stop once the budget is gone.
+					if base+j > 0 && wbud.check() {
+						return
+					}
+					perm := permFor(j)
+					cand, aborted := scheduleOnce(inst, sp, committed.clone(inst), startSlot, perm, wbud)
+					reduce(cand, perm, base+j, aborted)
+					if aborted {
+						return
+					}
 				}
-				// Restart 0 always runs — it is the pass a budget trip
-				// degrades to; later restarts stop once the budget is gone.
-				if restart > 0 && wbud.check() {
-					return
-				}
-				perm := append([]string(nil), sp.markets...)
-				if restart > 0 { // restart 0 uses the deterministic sorted order
-					rng := rand.New(rand.NewSource(restartSeed(inst.Seed, tzIndex, restart)))
-					rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
-				}
-				cand, aborted := scheduleOnce(inst, sp, committed.clone(inst), startSlot, perm, wbud)
-				reduce(cand, restart, aborted)
-				if aborted {
-					return
-				}
-			}
-		}()
+			}()
+		}
+		wg.Wait()
+		for _, wbud := range forks {
+			bud.absorb(wbud)
+		}
 	}
-	wg.Wait()
-	for _, wbud := range forks {
-		bud.absorb(wbud)
+	runPool(inst.Restarts, 0, func(j int) []string {
+		perm := append([]string(nil), sp.markets...)
+		if j > 0 { // restart 0 uses the deterministic sorted order
+			rng := rand.New(rand.NewSource(restartSeed(inst.Seed, tzIndex, j)))
+			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		}
+		return perm
+	})
+	// Large-neighborhood search: re-shuffle one seeded window of the best
+	// base permutation per LNS restart. The base is fixed before the phase
+	// starts (the reducer's phase-1 result is parallelism-invariant), so
+	// every perturbation is a pure function of (Seed, timezone, index).
+	if inst.LNSRestarts > 0 && bestSet && !bestAborted && len(sp.markets) >= 3 && !bud.check() {
+		basePerm := append([]string(nil), bestPerm...)
+		runPool(inst.LNSRestarts, inst.Restarts, func(j int) []string {
+			return perturbPerm(basePerm, restartSeed(inst.Seed, tzIndex, inst.Restarts+j))
+		})
 	}
 	return best
+}
+
+// perturbPerm copies base and re-shuffles one seeded random contiguous
+// window of it — the large-neighborhood move: keep most of a known-good
+// market order, re-search the ordering of one segment.
+func perturbPerm(base []string, seed int64) []string {
+	perm := append([]string(nil), base...)
+	rng := rand.New(rand.NewSource(seed))
+	n := len(perm)
+	wlen := 2 + rng.Intn(n-1) // window of 2..n markets
+	lo := rng.Intn(n - wlen + 1)
+	sub := perm[lo : lo+wlen]
+	rng.Shuffle(len(sub), func(i, j int) { sub[i], sub[j] = sub[j], sub[i] })
+	return perm
 }
 
 // better implements the lexicographic comparison of Algorithm 1 line 22:

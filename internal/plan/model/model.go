@@ -431,6 +431,15 @@ type Schedule struct {
 	// solver's capacity forward-checking (0 for producers without domain
 	// propagation, e.g. the heuristic backend).
 	DomainPrunes int64
+	// Steals counts subtree tasks taken by idle workers from peers'
+	// deques during a work-stealing parallel search (0 when sequential).
+	Steals int64
+	// Splits counts search nodes published as stealable subtree
+	// descriptors during a work-stealing parallel search.
+	Splits int64
+	// ReplayNodes counts prefix decisions thieves replayed onto their own
+	// state to reconstruct stolen subtrees (the load-balancing overhead).
+	ReplayNodes int64
 	// Warm reports that the search was seeded with a feasible incumbent
 	// from a previous solve (warm-start re-planning) instead of starting
 	// from an unbounded incumbent.

@@ -53,7 +53,7 @@ func TestSolverParallelMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d sequential: %v", seed, err)
 		}
-		for _, workers := range []int{2, 4} {
+		for _, workers := range []int{2, 4, 8} {
 			parOpt := limits
 			parOpt.Parallelism = workers
 			par, err := Solve(randomModel(seed), parOpt)
@@ -65,6 +65,11 @@ func TestSolverParallelMatchesSequential(t *testing.T) {
 			}
 			if par.Cost != seq.Cost {
 				t.Fatalf("seed %d workers=%d: cost = %d, sequential = %d", seed, workers, par.Cost, seq.Cost)
+			}
+			for i := range par.Slots {
+				if par.Slots[i] != seq.Slots[i] {
+					t.Fatalf("seed %d workers=%d: slots = %v, sequential = %v", seed, workers, par.Slots, seq.Slots)
+				}
 			}
 			if par.Workers != workers && par.Workers > workers {
 				t.Fatalf("seed %d: reported workers = %d, configured %d", seed, par.Workers, workers)

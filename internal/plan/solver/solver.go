@@ -28,7 +28,6 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"cornet/internal/plan/model"
@@ -58,10 +57,13 @@ type Options struct {
 	// optimality; used by scale experiments. Forces a single worker so the
 	// greedy result stays deterministic.
 	FirstSolutionOnly bool
-	// Parallelism is the root-split search worker count: the first search
-	// block's start slots (plus the skip branch) are partitioned across
-	// workers that share the incumbent bound. 0 means GOMAXPROCS; 1 runs
-	// the classic sequential search.
+	// Parallelism is the search worker count. Workers share one
+	// rank-ordered incumbent bound and balance load by work stealing:
+	// busy workers publish open subtrees into per-worker deques and idle
+	// workers steal, replaying the stolen prefix onto their own state.
+	// 0 means GOMAXPROCS; 1 runs the classic sequential search. Results
+	// are parallelism-invariant: a completed search reports the same
+	// cost and slot vector at every worker count.
 	Parallelism int
 	// OnIncumbent, when set, is called each time the search publishes a
 	// strictly better incumbent, with its cost and the observed global node
@@ -69,6 +71,12 @@ type Options struct {
 	// (under the incumbent lock) and must be fast and non-blocking; the
 	// planning engine uses it to emit incumbent-improvement trace events.
 	OnIncumbent func(cost, nodes int64)
+	// OnSteal, when set, is called once when a parallel search finishes,
+	// with the run's work-stealing totals: tasks stolen by idle workers,
+	// subtree descriptors published for stealing, and prefix decisions
+	// replayed by thieves. Sequential searches never call it; the
+	// planning engine uses it to emit a steal-rate trace event.
+	OnSteal func(steals, splits, replayNodes int64)
 	// WarmSlots seeds the search with a known schedule from a previous
 	// solve of a similar model, keyed by item ID (slot index, or -1 for a
 	// deliberate leftover; items absent from the map start unscheduled).
@@ -112,11 +120,13 @@ func Solve(m *model.Model, opt Options) (model.Schedule, error) {
 // -timeout flags and HTTP request deadlines yield the incumbent rather
 // than an error.
 //
-// With Options.Parallelism != 1 the root of the search tree is split
-// across workers sharing one incumbent bound. A completed parallel search
-// proves the same optimal cost as the sequential one; among equal-cost
-// optima the reported slot vector is tie-broken canonically (lexicographic
-// order over the solutions discovered).
+// With Options.Parallelism != 1 the search runs on work-stealing
+// workers sharing one rank-ordered incumbent bound (see DESIGN.md §15).
+// A completed parallel search proves the same optimal cost as the
+// sequential one, and among equal-cost optima it reports the exact slot
+// vector the sequential depth-first search would: the incumbent is
+// tie-broken on the canonical decision-order rank of the solution, so
+// results do not depend on worker count or steal interleaving.
 func SolveContext(ctx context.Context, m *model.Model, opt Options) (model.Schedule, error) {
 	if err := ctx.Err(); err != nil {
 		return model.Schedule{}, fmt.Errorf("solver: %w", err)
@@ -201,78 +211,24 @@ func warmIncumbent(m *model.Model, seed map[string]int) ([]int, int64, bool) {
 	return slots, sched.Cost, true
 }
 
-// sharedBound is the cross-worker search state: the global incumbent (an
-// atomic bound every worker prunes against plus the mutex-guarded slot
-// vector behind it), the global node count, and the stop flag that fans a
-// hard stop out to all workers.
-type sharedBound struct {
-	bestCost atomic.Int64
-	nodes    atomic.Int64
-	stop     atomic.Bool
-
-	mu        sync.Mutex
-	bestSlots []int
-	// onIncumbent mirrors Options.OnIncumbent for the parallel search.
-	onIncumbent func(cost, nodes int64)
-}
-
-// record publishes an incumbent. Ties on cost keep the lexicographically
-// smallest slot vector so the reported schedule does not depend on which
-// worker finished first.
-func (sh *sharedBound) record(cost int64, slots []int) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	cur := sh.bestCost.Load()
-	if cost > cur {
-		return
-	}
-	if cost == cur && !lexLess(slots, sh.bestSlots) {
-		return
-	}
-	sh.bestCost.Store(cost)
-	sh.bestSlots = slots
-	if cost < cur && sh.onIncumbent != nil {
-		sh.onIncumbent(cost, sh.nodes.Load())
-	}
-}
-
-func lexLess(a, b []int) bool {
-	if b == nil {
-		return true
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return false
-}
-
-// solveParallel splits the search at the root: the first block's start
-// slots (in incremental-cost order, plus the skip branch when leftovers
-// are allowed) are dealt round-robin to workers, each exploring its
-// subtrees on a private cloned state while pruning against the shared
-// incumbent.
+// solveParallel runs the work-stealing parallel search: worker 0 owns
+// the root task, every worker publishes open subtrees into its deque as
+// it descends, and idle workers steal the costlier half of the
+// shallowest open descriptor, replay its prefix onto their own arena
+// state, and search it — all pruning against the shared rank-ordered
+// incumbent (see worksteal.go and DESIGN.md §15).
 func solveParallel(ctx context.Context, m *model.Model, opt Options, base *state, workers int) (model.Schedule, error) {
-	rootBi := base.order[0]
-	rb := &base.blocks[rootBi]
-	decisions := make([]int, 0, m.NumSlots+1)
-	for _, t := range rb.valOrder {
-		decisions = append(decisions, int(t))
-	}
-	if !m.RequireAll {
-		decisions = append(decisions, -1) // the skip branch
-	}
-	if workers > len(decisions) {
-		workers = len(decisions)
-	}
-	sh := &sharedBound{onIncumbent: opt.OnIncumbent}
-	sh.bestCost.Store(math.MaxInt64)
+	sh := &sharedSearch{onIncumbent: opt.OnIncumbent}
+	sh.deques = make([]wsDeque, workers)
+	// Seed active with worker 0's root task before any worker starts, so
+	// workers launched first cannot observe active == 0 and exit early.
+	sh.active.Store(1)
 	if base.bestSlots != nil {
 		// Warm start: the seeded incumbent becomes the shared bound every
-		// worker prunes against from its first node.
-		sh.bestCost.Store(base.bestCost)
-		sh.bestSlots = base.bestSlots
+		// worker prunes against from its first node. Its nil rank vector
+		// makes it rank-minimal: only a strictly cheaper solution may
+		// displace it, matching the sequential warm contract.
+		sh.rec.Store(&incumbentRec{cost: base.bestCost, slots: base.bestSlots})
 	}
 	states := make([]*state, workers)
 	var wg sync.WaitGroup
@@ -280,64 +236,46 @@ func solveParallel(ctx context.Context, m *model.Model, opt Options, base *state
 		ws := base.clone()
 		ws.ctx = ctx
 		ws.shared = sh
+		ws.wid = w
+		ws.path = make([]step, len(ws.order))
+		ws.relAt = make([]int8, len(ws.order)+1)
+		ws.replayBuf = make([]replayFrame, 0, len(ws.order))
 		states[w] = ws
 		wg.Add(1)
-		go func(w int, ws *state) {
+		go func(ws *state) {
 			defer wg.Done()
-			defer ws.flushNodes()
-			b := &ws.blocks[rootBi]
-			lbRest := ws.lbUnassigned - ws.contrib[rootBi]
-			// The depth-0 mask stays valid across root decisions:
-			// every subtree restores state exactly on return.
-			scratch := ws.buildScratch(rootBi, b, 0)
-			for di := w; di < len(decisions); di += workers {
-				if ws.stopped {
-					return
-				}
-				t := decisions[di]
-				if t < 0 {
-					if ws.cost+b.skipCost+lbRest >= ws.bound() {
-						continue
-					}
-					ws.assignSkip(rootBi, b)
-					ws.search(1)
-					ws.undoSkip(rootBi, b)
-					continue
-				}
-				if ws.cost+b.costAt[t]+lbRest >= ws.bound() {
-					continue
-				}
-				if scratch[t>>6]&(1<<(uint(t)&63)) == 0 || !ws.feasible(b, t) {
-					continue
-				}
-				mark, added := ws.place(rootBi, b, t)
-				ws.search(1)
-				ws.unplace(rootBi, b, t, mark, added)
-			}
-		}(w, states[w])
+			ws.wsWorker()
+		}(ws)
 	}
 	wg.Wait()
-	nodes := sh.nodes.Load() + 1 // + the split root node
+	nodes := sh.nodes.Load()
 	complete := true
 	var ctxErr error
-	var prunes int64
+	var prunes, steals, splits, replay int64
 	for _, ws := range states {
 		complete = complete && ws.complete
 		prunes += ws.domPrunes
+		steals += ws.steals
+		splits += ws.splits
+		replay += ws.replayNodes
 		if ws.ctxErr != nil && ctxErr == nil {
 			ctxErr = ws.ctxErr
 		}
 	}
+	if opt.OnSteal != nil {
+		opt.OnSteal(steals, splits, replay)
+	}
 	if ctxErr != nil {
 		return model.Schedule{}, fmt.Errorf("solver: search aborted after %d nodes: %w", nodes, ctxErr)
 	}
-	if sh.bestSlots == nil {
+	rec := sh.rec.Load()
+	if rec == nil {
 		if complete {
 			return model.Schedule{}, ErrInfeasible
 		}
 		return model.Schedule{}, fmt.Errorf("solver: no feasible solution within limits (%d nodes)", nodes)
 	}
-	sched, err := m.Evaluate(sh.bestSlots)
+	sched, err := m.Evaluate(rec.slots)
 	if err != nil {
 		return model.Schedule{}, err
 	}
@@ -345,8 +283,11 @@ func solveParallel(ctx context.Context, m *model.Model, opt Options, base *state
 	sched.Nodes = nodes
 	sched.Workers = workers
 	sched.DomainPrunes = prunes
+	sched.Steals = steals
+	sched.Splits = splits
+	sched.ReplayNodes = replay
 	sched.Warm = base.warm
-	if v := m.Check(sh.bestSlots); len(v) > 0 {
+	if v := m.Check(rec.slots); len(v) > 0 {
 		return model.Schedule{}, fmt.Errorf("solver: internal error, produced infeasible schedule: %v", v[0])
 	}
 	return sched, nil
@@ -389,6 +330,11 @@ type block struct {
 	// value-selection order, also reused as the min scan order for the
 	// per-block contribution bound.
 	valOrder []int32
+	// ordOf inverts valOrder: ordOf[t] is slot t's decision ordinal in
+	// the canonical value order. The skip branch's ordinal is
+	// len(valOrder), sorting after every placement. Rank vectors over
+	// these ordinals tie-break the parallel shared incumbent.
+	ordOf []int32
 	// skipCost is the leftover penalty SkipPenalty*weight.
 	skipCost int64
 }
@@ -517,10 +463,21 @@ type state struct {
 	ctxErr  error
 
 	// shared is non-nil for parallel workers: the global incumbent bound,
-	// node total, and stop flag. flushed counts the nodes already added to
-	// shared.nodes.
-	shared  *sharedBound
+	// node total, stop flag, and work-stealing deques. flushed counts the
+	// nodes already added to shared.nodes.
+	shared  *sharedSearch
 	flushed int64
+	// Work-stealing worker state (parallel only; see worksteal.go): the
+	// worker id, the decision path from the root (one step per depth),
+	// the incremental path-vs-incumbent relation cache, the replay frame
+	// buffer, and the steal/split/replay counters summed at join.
+	wid                         int
+	path                        []step
+	relAt                       []int8
+	relValid                    int
+	relRec                      *incumbentRec
+	replayBuf                   []replayFrame
+	steals, splits, replayNodes int64
 }
 
 func newState(m *model.Model, opt Options) *state {
@@ -719,6 +676,10 @@ func newState(m *model.Model, opt Options) *state {
 		sort.SliceStable(b.valOrder, func(x, y int) bool {
 			return b.costAt[b.valOrder[x]] < b.costAt[b.valOrder[y]]
 		})
+		b.ordOf = make([]int32, T)
+		for o, t := range b.valOrder {
+			b.ordOf[t] = int32(o)
+		}
 	}
 	s.blocks = blocks
 
@@ -1576,11 +1537,13 @@ func (s *state) checkBudget() {
 }
 
 // bound returns the cost bound to prune against, syncing the local view
-// with the shared incumbent first.
+// with the shared incumbent first. The cached bestCost only ever
+// decreases, so a stale read over-explores but never mis-prunes; the
+// equal-cost slow paths (pruneSubtree/pruneDecision) reload the record.
 func (s *state) bound() int64 {
 	if s.shared != nil {
-		if g := s.shared.bestCost.Load(); g < s.bestCost {
-			s.bestCost = g
+		if rec := s.shared.load(); rec != nil && rec.cost < s.bestCost {
+			s.bestCost = rec.cost
 		}
 	}
 	return s.bestCost
@@ -1603,16 +1566,22 @@ func (s *state) search(depth int) {
 		return
 	}
 	if depth == len(s.order) {
-		if s.cost < s.bound() {
-			if s.shared != nil {
-				s.shared.record(s.cost, s.extractSlots())
-				s.bestCost = s.shared.bestCost.Load()
-			} else {
-				s.bestCost = s.cost
-				s.bestSlots = s.extractSlots()
-				if s.opt.OnIncumbent != nil {
-					s.opt.OnIncumbent(s.cost, s.nodes)
+		if s.shared != nil {
+			// Equal-cost leaves may still win on rank; record re-checks
+			// cost and rank atomically under the incumbent lock.
+			if s.cost <= s.bound() {
+				s.shared.record(s)
+				if rec := s.shared.load(); rec != nil && rec.cost < s.bestCost {
+					s.bestCost = rec.cost
 				}
+			}
+			return
+		}
+		if s.cost < s.bound() {
+			s.bestCost = s.cost
+			s.bestSlots = s.extractSlots()
+			if s.opt.OnIncumbent != nil {
+				s.opt.OnIncumbent(s.cost, s.nodes)
 			}
 			if s.opt.FirstSolutionOnly {
 				s.stopped = true
@@ -1624,8 +1593,12 @@ func (s *state) search(depth int) {
 	if s.deadEnds > 0 {
 		return
 	}
-	if s.cost+s.lbUnassigned >= s.bound() {
-		return
+	if lb := s.cost + s.lbUnassigned; lb >= s.bound() {
+		// Parallel slow path: an equal-cost subtree whose path prefix
+		// still precedes (or contains) the incumbent's rank stays open.
+		if s.shared == nil || s.pruneSubtree(depth, lb) {
+			return
+		}
 	}
 	bi := s.selectBlock()
 	b := &s.blocks[bi]
@@ -1633,16 +1606,31 @@ func (s *state) search(depth int) {
 	// contrib and lbUnassigned exactly on backtrack.
 	lbRest := s.lbUnassigned - s.contrib[bi]
 	scratch := s.buildScratch(bi, b, depth)
+	if s.shared != nil && s.shared.deques[s.wid].size.Load() < wsPublishLowWater {
+		// The deque runs low: open this node for stealing and drain it
+		// through the deque instead of the private value loop.
+		if desc := s.publish(bi, b, depth, scratch); desc != nil {
+			s.searchOpen(desc, bi, b, depth, lbRest)
+			return
+		}
+	}
 	for _, t32 := range b.valOrder {
 		t := int(t32)
-		if s.cost+b.costAt[t]+lbRest >= s.bound() {
-			break // valOrder is cost-ascending: no later slot can beat the bound
+		if lb := s.cost + b.costAt[t] + lbRest; lb >= s.bound() {
+			// valOrder is cost-ascending and ordinals increase with it, so
+			// once a decision prunes every later one does too.
+			if s.shared == nil || s.pruneDecision(depth, b.ordOf[t], lb) {
+				break
+			}
 		}
 		if scratch[t>>6]&(1<<(uint(t)&63)) == 0 {
 			continue
 		}
 		if !s.feasible(b, t) {
 			continue
+		}
+		if s.shared != nil {
+			s.setPath(depth, step{bi: int32(bi), t: t32, ord: b.ordOf[t]})
 		}
 		mark, added := s.place(bi, b, t)
 		s.search(depth + 1)
@@ -1651,12 +1639,22 @@ func (s *state) search(depth int) {
 			return
 		}
 	}
-	if !s.m.RequireAll && s.cost+b.skipCost+lbRest < s.bound() {
-		// Leave the block unscheduled (leftover), explored after every
-		// placement branch.
-		s.assignSkip(bi, b)
-		s.search(depth + 1)
-		s.undoSkip(bi, b)
+	if !s.m.RequireAll {
+		lb := s.cost + b.skipCost + lbRest
+		open := lb < s.bound()
+		if !open && s.shared != nil {
+			open = !s.pruneDecision(depth, int32(len(b.valOrder)), lb)
+		}
+		if open {
+			// Leave the block unscheduled (leftover), explored after every
+			// placement branch.
+			if s.shared != nil {
+				s.setPath(depth, step{bi: int32(bi), t: -1, ord: int32(len(b.valOrder))})
+			}
+			s.assignSkip(bi, b)
+			s.search(depth + 1)
+			s.undoSkip(bi, b)
+		}
 	}
 }
 

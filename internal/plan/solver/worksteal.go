@@ -1,0 +1,491 @@
+package solver
+
+// Work-stealing parallel search (DESIGN.md §15).
+//
+// The previous parallel mode split the tree once at the root: the first
+// block's decisions were dealt round-robin to workers, so a worker whose
+// subtrees died early sat idle while another ground through the one hot
+// subtree. Here the split points move with the search instead: every
+// worker keeps a small bounded deque of open subtree descriptors
+// (assignment prefix + the node's untried decisions), refilled from its
+// own stack whenever the deque runs low, and an idle worker steals the
+// costlier half of the decisions from the shallowest open descriptor of
+// a busy victim. The thief replays the stolen prefix onto its own arena
+// state (the PR-4 undo stacks make both replay and unwind cheap) and
+// searches the stolen decisions as if it had descended there itself.
+//
+// Determinism: the shared incumbent carries the decision-ordinal rank
+// vector of the solution that produced it, and equal-cost pruning is
+// rank-aware — a subtree whose path prefix precedes the incumbent's rank
+// stays open at an equal bound, one that follows it is cut. A completed
+// search therefore converges on the cost-minimal solution with the
+// smallest rank vector, which is exactly the solution the sequential
+// depth-first search reports — whatever the worker count and however the
+// steals interleave.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// wsPublishLowWater is the per-worker deque refill threshold: a worker
+// publishes the current node's untried decisions only while its deque
+// holds fewer open descriptors than this, which bounds the deque and
+// keeps publish overhead off the hot path. Tests raise it to force a
+// split at every node ("stealing on tiny subtrees").
+var wsPublishLowWater = int32(4)
+
+// relation values of the current path prefix against the incumbent's
+// rank vector.
+const (
+	relLess    int8 = -1
+	relEqual   int8 = 0
+	relGreater int8 = 1
+)
+
+// step is one replayable search decision: block bi assigned start slot t
+// (or skipped, t = -1), with ord its position in the node's canonical
+// decision order (valOrder index; skip sorts last).
+type step struct {
+	bi, t, ord int32
+}
+
+// incumbentRec is an immutable published incumbent: its cost, the
+// decision-ordinal rank vector identifying where its leaf sits in the
+// canonical depth-first order (nil for warm-start seeds, which no
+// equal-cost solution may displace — matching the sequential warm
+// contract), and the solved slot vector.
+type incumbentRec struct {
+	cost  int64
+	rank  []int32
+	slots []int
+}
+
+// subtree is an open-node descriptor in a worker's deque: the path
+// prefix from the root (immutable once published), the open node's
+// block, and the decisions not yet explored, in canonical cost order
+// with the skip branch (-1) last. The owning worker drains decisions
+// from the front; thieves take the back half.
+type subtree struct {
+	prefix []step
+	bi     int32
+	decs   []int32
+}
+
+// stolenTask is a thief's private copy of stolen work: the shared prefix
+// to replay plus the decisions taken from the victim's descriptor.
+type stolenTask struct {
+	prefix []step
+	bi     int32
+	decs   []int32
+}
+
+// wsDeque is one worker's bounded deque of open descriptors, shallowest
+// first. size mirrors len(open) so the owner's low-water probe on the
+// hot path is a single atomic load.
+type wsDeque struct {
+	mu   sync.Mutex
+	open []*subtree
+	size atomic.Int32
+}
+
+// sharedSearch is the cross-worker state of a work-stealing search: the
+// rank-ordered incumbent, the global node budget, the stop flag, the
+// active-task count that detects termination, and the per-worker deques.
+type sharedSearch struct {
+	rec   atomic.Pointer[incumbentRec]
+	nodes atomic.Int64
+	stop  atomic.Bool
+	// active counts workers currently executing a task (the root search
+	// or a stolen subtree). Descriptors only exist while their owner is
+	// executing, so active == 0 proves no work remains anywhere.
+	active atomic.Int64
+
+	mu          sync.Mutex // serializes incumbent publication
+	onIncumbent func(cost, nodes int64)
+
+	deques []wsDeque
+}
+
+// bestCost returns the shared incumbent cost, or MaxInt64-equivalent via
+// the caller's cached bound when none exists.
+func (sh *sharedSearch) load() *incumbentRec { return sh.rec.Load() }
+
+// record publishes the worker's complete assignment as an incumbent if
+// it improves the shared one: strictly cheaper always wins; at equal
+// cost the smaller rank vector wins, so the search converges on the
+// depth-first-first optimum regardless of discovery order.
+func (sh *sharedSearch) record(s *state) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur := sh.rec.Load()
+	cost := s.cost
+	if cur != nil {
+		if cost > cur.cost {
+			return
+		}
+		if cost == cur.cost && !pathRankLess(s.path, cur.rank) {
+			return
+		}
+	}
+	rank := make([]int32, len(s.path))
+	for i := range s.path {
+		rank[i] = s.path[i].ord
+	}
+	sh.rec.Store(&incumbentRec{cost: cost, rank: rank, slots: s.extractSlots()})
+	if (cur == nil || cost < cur.cost) && sh.onIncumbent != nil {
+		sh.onIncumbent(cost, sh.nodes.Load())
+	}
+}
+
+// pathRankLess reports whether the full path's rank vector strictly
+// precedes rank. A nil rank (warm seed) precedes everything.
+func pathRankLess(path []step, rank []int32) bool {
+	if rank == nil {
+		return false
+	}
+	for d := range path {
+		if o := path[d].ord; o != rank[d] {
+			return o < rank[d]
+		}
+	}
+	return false
+}
+
+// relation returns the lexicographic relation of the current path prefix
+// [0, depth) against rec's rank prefix, maintained incrementally: the
+// cache is invalidated from a depth down whenever the path changes there
+// (setPath) and recomputed lazily when the incumbent record changes.
+func (s *state) relation(rec *incumbentRec, depth int) int8 {
+	if rec.rank == nil {
+		return relGreater // warm seeds are rank-minimal by definition
+	}
+	if rec != s.relRec {
+		s.relRec = rec
+		s.relValid = 0
+	}
+	for d := s.relValid; d < depth; d++ {
+		r := s.relAt[d]
+		if r == relEqual {
+			switch o, ro := s.path[d].ord, rec.rank[d]; {
+			case o < ro:
+				r = relLess
+			case o > ro:
+				r = relGreater
+			}
+		}
+		s.relAt[d+1] = r
+	}
+	if depth > s.relValid {
+		s.relValid = depth
+	}
+	return s.relAt[depth]
+}
+
+// setPath records the decision taken at depth and invalidates the
+// relation cache from that depth on.
+func (s *state) setPath(depth int, st step) {
+	s.path[depth] = st
+	if s.relValid > depth {
+		s.relValid = depth
+	}
+}
+
+// pruneSubtree is the slow path of the node-entry bound check, reached
+// only when lb >= the cached bound on a parallel worker. The subtree at
+// the current prefix stays open at an equal bound unless the prefix
+// already follows the incumbent's rank (relGreater): a prefix that is
+// equal so far can still fork off a smaller-rank solution below.
+func (s *state) pruneSubtree(depth int, lb int64) bool {
+	rec := s.shared.load()
+	if rec == nil {
+		return false
+	}
+	if rec.cost < s.bestCost {
+		s.bestCost = rec.cost
+	}
+	if lb != rec.cost {
+		return lb > rec.cost
+	}
+	if rec.rank == nil {
+		return true
+	}
+	return s.relation(rec, depth) == relGreater
+}
+
+// pruneDecision is the slow path of the per-decision bound check: the
+// child taken with ordinal ord at depth is cut at an equal bound unless
+// it can still precede the incumbent — its prefix is relLess, or the
+// prefix is equal and the ordinal does not exceed the incumbent's at
+// this depth (equal ordinal keeps the incumbent's own subtree open,
+// where smaller-rank equal-cost solutions may fork off deeper).
+func (s *state) pruneDecision(depth int, ord int32, lb int64) bool {
+	rec := s.shared.load()
+	if rec == nil {
+		return false
+	}
+	if rec.cost < s.bestCost {
+		s.bestCost = rec.cost
+	}
+	if lb != rec.cost {
+		return lb > rec.cost
+	}
+	if rec.rank == nil {
+		return true
+	}
+	switch s.relation(rec, depth) {
+	case relLess:
+		return false
+	case relGreater:
+		return true
+	}
+	return ord > rec.rank[depth]
+}
+
+// publish moves the current node's untried decisions into a deque
+// descriptor so idle workers can steal them. Returns nil when the node
+// is not worth splitting (fewer than two live decisions).
+func (s *state) publish(bi int, b *block, depth int, scratch []uint64) *subtree {
+	decs := make([]int32, 0, s.domCount[bi]+1)
+	for _, t32 := range b.valOrder {
+		t := int(t32)
+		if scratch[t>>6]&(1<<(uint(t)&63)) != 0 {
+			decs = append(decs, t32)
+		}
+	}
+	if !s.m.RequireAll {
+		decs = append(decs, -1)
+	}
+	if len(decs) < 2 {
+		return nil
+	}
+	st := &subtree{prefix: append([]step(nil), s.path[:depth]...), bi: int32(bi), decs: decs}
+	dq := &s.shared.deques[s.wid]
+	dq.mu.Lock()
+	dq.open = append(dq.open, st)
+	dq.size.Store(int32(len(dq.open)))
+	dq.mu.Unlock()
+	s.splits++
+	return st
+}
+
+// takeFront pops the cheapest remaining decision of the worker's own
+// descriptor, competing with thieves under the deque lock.
+func (s *state) takeFront(st *subtree) (int32, bool) {
+	dq := &s.shared.deques[s.wid]
+	dq.mu.Lock()
+	defer dq.mu.Unlock()
+	if len(st.decs) == 0 {
+		return 0, false
+	}
+	t := st.decs[0]
+	st.decs = st.decs[1:]
+	return t, true
+}
+
+// clearPlacements drops every remaining placement decision of the
+// descriptor — they are all bound-pruned once the cheapest one is — but
+// keeps a trailing skip branch, whose cost is independent of the
+// placement ordering.
+func (s *state) clearPlacements(st *subtree) {
+	dq := &s.shared.deques[s.wid]
+	dq.mu.Lock()
+	if n := len(st.decs); n > 0 && st.decs[n-1] < 0 {
+		st.decs = st.decs[n-1:]
+	} else {
+		st.decs = nil
+	}
+	dq.mu.Unlock()
+}
+
+// removeDesc retires the descriptor at node exit. Descriptors are pushed
+// and removed in stack order, so it is always the deque's last entry.
+func (s *state) removeDesc(st *subtree) {
+	dq := &s.shared.deques[s.wid]
+	dq.mu.Lock()
+	if n := len(dq.open); n > 0 && dq.open[n-1] == st {
+		dq.open = dq.open[:n-1]
+		dq.size.Store(int32(len(dq.open)))
+	}
+	dq.mu.Unlock()
+}
+
+// searchOpen drains a published descriptor's decisions at the open node,
+// racing thieves for them; the loop mirrors the private value loop of
+// search but takes each decision through the deque lock.
+func (s *state) searchOpen(desc *subtree, bi int, b *block, depth int, lbRest int64) {
+	skipOrd := int32(len(b.valOrder))
+	for !s.stopped {
+		t32, ok := s.takeFront(desc)
+		if !ok {
+			break
+		}
+		if t32 < 0 {
+			lb := s.cost + b.skipCost + lbRest
+			if lb < s.bound() || !s.pruneDecision(depth, skipOrd, lb) {
+				s.setPath(depth, step{bi: int32(bi), t: -1, ord: skipOrd})
+				s.assignSkip(bi, b)
+				s.search(depth + 1)
+				s.undoSkip(bi, b)
+			}
+			continue
+		}
+		t := int(t32)
+		lb := s.cost + b.costAt[t] + lbRest
+		if lb >= s.bound() && s.pruneDecision(depth, b.ordOf[t], lb) {
+			s.clearPlacements(desc)
+			continue
+		}
+		if !s.feasible(b, t) {
+			continue
+		}
+		s.setPath(depth, step{bi: int32(bi), t: t32, ord: b.ordOf[t]})
+		mark, added := s.place(bi, b, t)
+		s.search(depth + 1)
+		s.unplace(bi, b, t, mark, added)
+	}
+	s.removeDesc(desc)
+}
+
+// stealFor scans the other workers' deques round-robin from wid+1 and
+// takes the costlier half of the decisions of the shallowest non-empty
+// descriptor it finds. The caller has already incremented sh.active.
+func (sh *sharedSearch) stealFor(wid int) *stolenTask {
+	n := len(sh.deques)
+	for i := 1; i < n; i++ {
+		v := (wid + i) % n
+		dq := &sh.deques[v]
+		if dq.size.Load() == 0 {
+			continue
+		}
+		dq.mu.Lock()
+		for _, st := range dq.open { // shallowest first
+			if len(st.decs) == 0 {
+				continue
+			}
+			k := (len(st.decs) + 1) / 2
+			stolen := append([]int32(nil), st.decs[len(st.decs)-k:]...)
+			st.decs = st.decs[:len(st.decs)-k]
+			dq.mu.Unlock()
+			return &stolenTask{prefix: st.prefix, bi: st.bi, decs: stolen}
+		}
+		dq.mu.Unlock()
+	}
+	return nil
+}
+
+// runStolen replays the task's prefix onto this worker's arena state,
+// searches the stolen decisions, and unwinds the prefix. Replayed steps
+// need no feasibility re-check: the victim proved each one feasible in
+// an identical state before descending, and place/assignSkip reproduce
+// that state exactly.
+func (s *state) runStolen(task *stolenTask) {
+	depth := len(task.prefix)
+	frames := s.replayBuf[:0]
+	for d, st := range task.prefix {
+		b := &s.blocks[st.bi]
+		s.setPath(d, st)
+		if st.t < 0 {
+			s.assignSkip(int(st.bi), b)
+			frames = append(frames, replayFrame{st: st})
+		} else {
+			mark, added := s.place(int(st.bi), b, int(st.t))
+			frames = append(frames, replayFrame{st: st, mark: mark, added: added})
+		}
+		s.replayNodes++
+	}
+	bi := int(task.bi)
+	b := &s.blocks[bi]
+	lbRest := s.lbUnassigned - s.contrib[bi]
+	decs := task.decs
+	hasSkip := len(decs) > 0 && decs[len(decs)-1] < 0
+	if hasSkip {
+		decs = decs[:len(decs)-1]
+	}
+	for _, t32 := range decs {
+		if s.stopped {
+			break
+		}
+		t := int(t32)
+		lb := s.cost + b.costAt[t] + lbRest
+		if lb >= s.bound() && s.pruneDecision(depth, b.ordOf[t], lb) {
+			break // cost order: every later placement is pruned too
+		}
+		if !s.feasible(b, t) {
+			continue
+		}
+		s.setPath(depth, step{bi: task.bi, t: t32, ord: b.ordOf[t]})
+		mark, added := s.place(bi, b, t)
+		s.search(depth + 1)
+		s.unplace(bi, b, t, mark, added)
+	}
+	if hasSkip && !s.stopped {
+		lb := s.cost + b.skipCost + lbRest
+		skipOrd := int32(len(b.valOrder))
+		if lb < s.bound() || !s.pruneDecision(depth, skipOrd, lb) {
+			s.setPath(depth, step{bi: task.bi, t: -1, ord: skipOrd})
+			s.assignSkip(bi, b)
+			s.search(depth + 1)
+			s.undoSkip(bi, b)
+		}
+	}
+	for i := len(frames) - 1; i >= 0; i-- {
+		f := frames[i]
+		b := &s.blocks[f.st.bi]
+		if f.st.t < 0 {
+			s.undoSkip(int(f.st.bi), b)
+		} else {
+			s.unplace(int(f.st.bi), b, int(f.st.t), f.mark, f.added)
+		}
+	}
+}
+
+// replayFrame records one replayed prefix step so runStolen can unwind
+// it exactly.
+type replayFrame struct {
+	st    step
+	mark  undoMark
+	added int64
+}
+
+// wsWorker is one search worker's life: worker 0 owns the root task, and
+// every worker then loops stealing open subtrees until the stop flag
+// rises or no task is active anywhere (termination: descriptors only
+// exist while their owner is active, so active == 0 means done).
+func (s *state) wsWorker() {
+	sh := s.shared
+	defer s.flushNodes()
+	if s.wid == 0 {
+		// solveParallel pre-seeded active with this root task, so peers
+		// launched earlier cannot see active == 0 before the root starts.
+		s.search(0)
+		sh.active.Add(-1)
+	}
+	backoff := time.Microsecond
+	for {
+		if s.stopped || sh.stop.Load() {
+			return
+		}
+		sh.active.Add(1)
+		task := sh.stealFor(s.wid)
+		if task == nil {
+			if sh.active.Add(-1) == 0 {
+				return
+			}
+			s.checkBudget()
+			if s.stopped {
+				return
+			}
+			time.Sleep(backoff)
+			if backoff < 128*time.Microsecond {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = time.Microsecond
+		s.steals++
+		s.runStolen(task)
+		sh.active.Add(-1)
+	}
+}
