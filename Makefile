@@ -27,7 +27,7 @@ fmt-check:
 # along for the declarative-API end-to-end.
 race:
 	$(GO) test -race ./internal/plan/... ./internal/orchestrator/... ./internal/obs/... \
-		./internal/controller/... ./internal/inventory ./cmd/cornetd
+		./internal/controller/... ./internal/inventory ./internal/compose ./cmd/cornetd
 
 # Documentation hygiene: formatting, vet, and a go/ast walk asserting that
 # every exported identifier in the execution-facing packages carries a doc
@@ -36,7 +36,7 @@ doccheck: vet fmt-check
 	$(GO) run ./tools/doccheck ./internal/orchestrator ./internal/orchestrator/resilience \
 		./internal/workflow ./internal/testbed \
 		./internal/controller ./internal/controller/reconcile ./internal/changelog \
-		./internal/plan/serve ./internal/plan/cache \
+		./internal/plan/serve ./internal/plan/cache ./internal/compose \
 		./internal/obs/events ./internal/obs/slo ./internal/obs/tenants
 
 # Metrics-naming hygiene: a go/ast walk asserting that every cornet_*
@@ -59,5 +59,12 @@ bench:
 # as the baseline — see EXPERIMENTS.md for the refresh procedure).
 bench-serve:
 	$(GO) run ./cmd/cornet-bench -exp bench-serve -quick
+
+# Quick composition smoke: K concurrent market-scoped changes must merge
+# into one solve at union-identical cost; conflicting rivals queue and
+# complete. Overwrites BENCH_compose.json with quick numbers — the
+# committed baseline comes from the full form (see EXPERIMENTS.md).
+bench-compose:
+	$(GO) run ./cmd/cornet-bench -exp bench-compose -quick
 
 check: build vet fmt-check test race doccheck metriccheck

@@ -1,0 +1,355 @@
+// Experiment bench-compose: concurrent change composition throughput
+// (DESIGN.md §16). K teams submit market-scoped upgrades of one shared
+// fleet concurrently; the composer merges them into one composed
+// schedule solved as a single plan. The comparison is against the
+// uncomposed alternative — each team planning its scope separately and
+// the changes stacking serially to respect the shared per-NF-type
+// capacity. It writes the machine-readable BENCH_compose.json:
+//
+//   - merged: every round's K concurrent submissions must collapse into
+//     exactly one solve, and the composed makespan must equal planning
+//     the union scope directly (the composition-identity acceptance
+//     criterion).
+//   - serial: K separate scope plans; their stacked makespan (changes
+//     queued behind each other on the shared capacity) is the cost of
+//     not composing.
+//   - mixed: disjoint and conflicting submissions together; the
+//     conflicting ones queue behind the generation they collided with
+//     and land in the next, so offered = merged + queued-then-merged.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cornet/internal/catalog"
+	"cornet/internal/compose"
+	"cornet/internal/core"
+	"cornet/internal/inventory"
+	"cornet/internal/plan/engine"
+	"cornet/internal/plan/intent"
+	"cornet/internal/testbed"
+)
+
+func init() {
+	register("bench-compose", "composition: merged single-solve vs serial stacked planning (emits BENCH_compose.json)", runBenchCompose)
+}
+
+// composeReport is the BENCH_compose.json schema.
+type composeReport struct {
+	Scenario   string `json:"scenario"`
+	Elements   int    `json:"elements"`
+	Teams      int    `json:"teams"`
+	Rounds     int    `json:"rounds"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick,omitempty"`
+
+	// UnionMakespan is the reference: the union scope planned directly.
+	UnionMakespan int `json:"union_makespan"`
+
+	Merged composeMergedPhase `json:"merged"`
+	Serial composeSerialPhase `json:"serial"`
+	Mixed  composeMixedPhase  `json:"mixed"`
+}
+
+// composeMergedPhase is the composed path: K concurrent submissions per
+// round, one solve, union-identical cost.
+type composeMergedPhase struct {
+	Submissions int `json:"submissions"`
+	// Solves counts planner invocations across all rounds; the acceptance
+	// bar is exactly one per round.
+	Solves   int   `json:"solves"`
+	Makespan int   `json:"makespan"`
+	P50NS    int64 `json:"p50_ns"`
+	P99NS    int64 `json:"p99_ns"`
+	// CostEqualsUnion reports the acceptance criterion: every round's
+	// composed makespan equals the direct union plan's.
+	CostEqualsUnion bool `json:"cost_equals_union"`
+}
+
+// composeSerialPhase is the uncomposed path: each team plans its scope
+// separately; the changes stack on the shared capacity.
+type composeSerialPhase struct {
+	Solves int `json:"solves"`
+	// StackedMakespan sums the per-scope makespans — the windows the
+	// fleet spends under change when teams queue behind each other
+	// instead of composing.
+	StackedMakespan int   `json:"stacked_makespan"`
+	P50NS           int64 `json:"p50_ns"`
+	// MakespanRatio is stacked / union — the composition win in
+	// maintenance windows.
+	MakespanRatio float64 `json:"makespan_ratio"`
+}
+
+// composeMixedPhase drives disjoint and conflicting submissions through
+// one composer with queue disposition.
+type composeMixedPhase struct {
+	Offered    int     `json:"offered"`
+	Merged     int     `json:"merged"`
+	Queued     int     `json:"queued"`
+	WallNS     int64   `json:"wall_ns"`
+	PerSecWall float64 `json:"changes_per_sec"`
+}
+
+// composeScenario is the shared fixture: a vCE fleet split evenly across
+// team-owned markets, one delta per team scoped to its market.
+type composeScenario struct {
+	inv    *inventory.Inventory
+	req    *intent.Request
+	scopes map[string][]string // market -> element ids
+	order  []string            // markets, sorted
+}
+
+func newComposeScenario(teams, perMarket int) *composeScenario {
+	tb := testbed.New(31)
+	total := teams * perMarket
+	for i := 0; i < total; i++ {
+		tb.MustAdd(testbed.NewNF(fmt.Sprintf("vce-%03d", i), "vCE", "v1"))
+	}
+	n := -1
+	inv := testbed.MirrorInventory(tb, func(*testbed.NF) map[string]string {
+		n++
+		return map[string]string{inventory.AttrMarket: fmt.Sprintf("m%02d", n%teams)}
+	})
+	scopes := map[string][]string{}
+	for _, id := range inv.IDs() {
+		e, _ := inv.Get(id)
+		m, _ := e.Attr(inventory.AttrMarket)
+		scopes[m] = append(scopes[m], id)
+	}
+	order := make([]string, 0, len(scopes))
+	for m := range scopes {
+		sort.Strings(scopes[m])
+		order = append(order, m)
+	}
+	sort.Strings(order)
+
+	// Capacity is per market (2 concurrent upgrades per market per
+	// window), so disjoint-market changes can share windows: that sharing
+	// is exactly what composition exploits and serial stacking wastes.
+	slots := total/2 + 1
+	start, _ := time.Parse(intent.TimeLayout, "2026-01-01 00:00:00")
+	req := &intent.Request{
+		SchedulingWindow: intent.Window{
+			Start:       "2026-01-01 00:00:00",
+			End:         start.Add(time.Duration(slots) * time.Hour).Format(intent.TimeLayout),
+			Granularity: intent.Granularity{Metric: "hour", Value: 1},
+		},
+		SchedulableAttribute: inventory.AttrCommonID,
+		Constraints: []intent.Constraint{{
+			Name:               intent.Concurrency,
+			BaseAttribute:      inventory.AttrCommonID,
+			AggregateAttribute: inventory.AttrMarket,
+			DefaultCapacity:    2,
+		}},
+	}
+	if err := req.Validate(); err != nil {
+		panic(err)
+	}
+	return &composeScenario{inv: inv, req: req, scopes: scopes, order: order}
+}
+
+// teamDelta is one team's footprint: node ops over its market, signed
+// with the team's payload.
+func (sc *composeScenario) teamDelta(changeID, market, payload string) *compose.Delta {
+	d := compose.NewDelta(changeID, "team-"+market)
+	paySig := compose.Sig("software-upgrade", payload)
+	for _, id := range sc.scopes[market] {
+		d.AddNode(compose.Path{market, id}, compose.Sig("node", id)^paySig)
+	}
+	return d.Canon()
+}
+
+func runBenchCompose(quick bool) error {
+	teams, perMarket, rounds := 6, 8, 5
+	if quick {
+		teams, perMarket, rounds = 4, 4, 2
+	}
+	sc := newComposeScenario(teams, perMarket)
+	f := core.New(map[string]catalog.ImplKind{"vCE": catalog.ImplScript})
+	opt := core.PlanOptions{RequireAll: true, Policy: engine.ForceSolver, Parallelism: 1}
+	ctx := context.Background()
+	report := composeReport{
+		Scenario:   "K market-scoped team upgrades of one shared vCE fleet",
+		Elements:   sc.inv.Len(),
+		Teams:      teams,
+		Rounds:     rounds,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+	fmt.Printf("scenario: %d elements, %d teams x %d elements, %d rounds\n\n",
+		sc.inv.Len(), teams, perMarket, rounds)
+
+	// --- Reference: the union scope planned directly -------------------
+	union, err := f.PlanScheduleRequestContext(ctx, sc.req, sc.inv, opt)
+	if err != nil {
+		return fmt.Errorf("union plan: %w", err)
+	}
+	report.UnionMakespan = union.Makespan
+	fmt.Printf("union plan: makespan %d window(s), method %s\n\n", union.Makespan, union.Method)
+
+	// --- Phase 1: merged — K concurrent submissions, one solve ---------
+	{
+		var solves atomic.Int32
+		var lats []time.Duration
+		equal := true
+		for round := 0; round < rounds; round++ {
+			var roundRes *core.PlanResult
+			c := compose.NewComposer(compose.Config{
+				Strategy: compose.SubtreeStrategy{},
+				Window:   time.Second, MaxBatch: teams,
+				Solve: func(ctx context.Context, composed *compose.Delta, members []*compose.Delta) (any, error) {
+					solves.Add(1)
+					ids := map[string]bool{}
+					for _, op := range composed.Ops {
+						ids[op.Path[len(op.Path)-1]] = true
+					}
+					list := make([]string, 0, len(ids))
+					for id := range ids {
+						list = append(list, id)
+					}
+					sort.Strings(list)
+					res, err := f.PlanScheduleRequestContext(ctx, sc.req, sc.inv.Subset(list), opt)
+					roundRes = res
+					return res, err
+				},
+			})
+			start := time.Now()
+			var wg sync.WaitGroup
+			for n, m := range sc.order {
+				wg.Add(1)
+				go func(n int, m string) {
+					defer wg.Done()
+					d := sc.teamDelta(fmt.Sprintf("chg-r%d-%s", round, m), m, fmt.Sprintf("v%d", round))
+					if _, err := c.Submit(ctx, d, compose.Reject); err != nil {
+						panic(err)
+					}
+				}(n, m)
+			}
+			wg.Wait()
+			lats = append(lats, time.Since(start))
+			c.Stop()
+			if roundRes == nil || roundRes.Makespan != union.Makespan {
+				equal = false
+			}
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		report.Merged = composeMergedPhase{
+			Submissions:     rounds * teams,
+			Solves:          int(solves.Load()),
+			Makespan:        union.Makespan,
+			P50NS:           percentile(lats, 0.50).Nanoseconds(),
+			P99NS:           percentile(lats, 0.99).Nanoseconds(),
+			CostEqualsUnion: equal,
+		}
+		ok := "MET"
+		if !equal || int(solves.Load()) != rounds {
+			ok = "MISSED"
+		}
+		fmt.Printf("merged: %d submissions -> %d solve(s) across %d rounds, p50 %s\n",
+			report.Merged.Submissions, report.Merged.Solves, rounds, percentile(lats, 0.50))
+		fmt.Printf("        [acceptance: one solve per round, composed cost == union cost: %s]\n\n", ok)
+	}
+
+	// --- Phase 2: serial — each scope planned alone, changes stacked ---
+	{
+		var lats []time.Duration
+		stacked := 0
+		for _, m := range sc.order {
+			start := time.Now()
+			res, err := f.PlanScheduleRequestContext(ctx, sc.req, sc.inv.Subset(sc.scopes[m]), opt)
+			if err != nil {
+				return fmt.Errorf("serial plan %s: %w", m, err)
+			}
+			lats = append(lats, time.Since(start))
+			stacked += res.Makespan
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		report.Serial = composeSerialPhase{
+			Solves:          teams,
+			StackedMakespan: stacked,
+			P50NS:           percentile(lats, 0.50).Nanoseconds(),
+		}
+		if union.Makespan > 0 {
+			report.Serial.MakespanRatio = float64(stacked) / float64(union.Makespan)
+		}
+		fmt.Printf("serial: %d solves, stacked makespan %d vs composed %d (%.1fx more windows under change)\n\n",
+			teams, stacked, union.Makespan, report.Serial.MakespanRatio)
+	}
+
+	// --- Phase 3: mixed — disjoint plus conflicting, queue disposition -
+	{
+		c := compose.NewComposer(compose.Config{
+			Strategy: compose.SubtreeStrategy{},
+			Window:   100 * time.Millisecond, MaxRequeue: teams,
+			Solve: func(ctx context.Context, composed *compose.Delta, members []*compose.Delta) (any, error) {
+				ids := map[string]bool{}
+				for _, op := range composed.Ops {
+					ids[op.Path[len(op.Path)-1]] = true
+				}
+				list := make([]string, 0, len(ids))
+				for id := range ids {
+					list = append(list, id)
+				}
+				sort.Strings(list)
+				return f.PlanScheduleRequestContext(ctx, sc.req, sc.inv.Subset(list), opt)
+			},
+		})
+		// Every team submits its scope, plus one rival per team submitting
+		// a different payload against the same market: the rival conflicts
+		// and queues behind the merged generation.
+		offered := 2 * teams
+		var wg sync.WaitGroup
+		var queued atomic.Int32
+		start := time.Now()
+		for _, m := range sc.order {
+			wg.Add(2)
+			go func(m string) {
+				defer wg.Done()
+				d := sc.teamDelta("chg-mx-"+m, m, "vA")
+				if _, err := c.Submit(ctx, d, compose.Reject); err != nil {
+					panic(err)
+				}
+			}(m)
+			go func(m string) {
+				defer wg.Done()
+				time.Sleep(20 * time.Millisecond) // lose the race: collide, queue
+				d := sc.teamDelta("chg-mx-rival-"+m, m, "vB")
+				out, err := c.Submit(ctx, d, compose.Queue)
+				if err != nil {
+					panic(err)
+				}
+				if out != nil {
+					queued.Add(1)
+				}
+			}(m)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		c.Stop()
+		report.Mixed = composeMixedPhase{
+			Offered: offered, Merged: offered, Queued: int(queued.Load()),
+			WallNS:     wall.Nanoseconds(),
+			PerSecWall: float64(offered) / wall.Seconds(),
+		}
+		fmt.Printf("mixed: %d offered (%d disjoint + %d conflicting-queued) all completed in %s (%.1f changes/sec)\n\n",
+			offered, teams, int(queued.Load()), wall.Round(time.Millisecond), report.Mixed.PerSecWall)
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_compose.json", append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_compose.json")
+	return nil
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"cornet/internal/catalog"
+	"cornet/internal/compose"
 	"cornet/internal/controller/reconcile"
 	"cornet/internal/core"
 	"cornet/internal/inventory"
@@ -60,18 +61,32 @@ type server struct {
 	slo     *slo.Tracker
 	sloStop func()
 
+	// composer merges concurrently submitted /api/wf/execute changes with
+	// compose scopes into single composed schedules; compIntent is the
+	// fixed intent composed scopes translate and plan under.
+	composer   *compose.Composer
+	compCfg    composeSettings
+	compIntent *intent.Request
+
 	log     *slog.Logger
 	httpm   *obs.HTTPMetrics
 	started time.Time
 
 	mu          sync.RWMutex
 	deployments map[string]*workflow.Deployment
+
+	// cmu guards pending: the payloads (deployment + inputs) of composed
+	// submissions currently waiting inside the composer, keyed by change
+	// id, which composeSolve reads at dispatch time.
+	cmu     sync.Mutex
+	pending map[string]*composePayload
 }
 
 // newServer assembles a server around a framework; the orchestrator engine
 // inherits the server logger so workflow executions emit per-block records.
 func newServer(f *core.Framework, tb *testbed.Testbed, net *netgen.Network,
-	planTimeout time.Duration, planCfg planserve.Config, log *slog.Logger) *server {
+	planTimeout time.Duration, planCfg planserve.Config, compCfg composeSettings,
+	log *slog.Logger) *server {
 	if log == nil {
 		log = obs.NopLogger()
 	}
@@ -81,14 +96,27 @@ func newServer(f *core.Framework, tb *testbed.Testbed, net *netgen.Network,
 	if planCfg.Admission.Log == nil {
 		planCfg.Admission.Log = log
 	}
+	if err := compCfg.normalize(); err != nil {
+		panic(err) // flag values are validated in main before reaching here
+	}
 	s := &server{
 		f: f, tb: tb, net: net, planTimeout: planTimeout,
 		planSrv:     planserve.New(f, planCfg),
+		compCfg:     compCfg,
+		compIntent:  newComposeIntent(compCfg.Slots, compCfg.Capacity),
 		log:         log,
 		httpm:       obs.NewHTTPMetrics(obs.Default),
 		started:     time.Now(),
 		deployments: map[string]*workflow.Deployment{},
+		pending:     map[string]*composePayload{},
 	}
+	strategy, _ := compose.ForName(compCfg.Strategy)
+	s.composer = compose.NewComposer(compose.Config{
+		Strategy: strategy,
+		Window:   compCfg.Window,
+		MaxBatch: compCfg.MaxBatch,
+		Solve:    s.composeSolve,
+	})
 	s.slo, s.sloStop = newSLOTracker()
 	registerBuildInfo()
 	s.fleetInv = testbed.MirrorInventory(tb, assignMarket)
@@ -117,6 +145,14 @@ func main() {
 		planWorkers     = flag.Int("plan-workers", 2, "concurrent plan solves")
 		planTenantQuota = flag.Int("plan-tenant-quota", 0, "per-tenant admission queue bound (0 = the global limit)")
 		planWarmDelta   = flag.Int("plan-warm-delta", 8, "max item-level delta against a cached plan that still warm-starts the solve (<0 disables)")
+
+		// Concurrent change composition over /api/wf/execute.
+		composeStrategy = flag.String("compose-strategy", "subtree", "composition conflict granularity (subtree|node|attribute)")
+		composeWindow   = flag.Duration("compose-window", 150*time.Millisecond, "batching window concurrent compose submissions merge within")
+		composeBatch    = flag.Int("compose-batch", 0, "seal a composition generation early at this many members (0 = window only)")
+		composeConflict = flag.String("compose-conflict", "reject", "default disposition of conflicting compose submissions (queue|reject)")
+		composeSlots    = flag.Int("compose-slots", 4, "maintenance windows in a composed schedule")
+		composeCapacity = flag.Int("compose-capacity", 2, "per-slot concurrency capacity of composed schedules")
 		drainTimeout    = flag.Duration("drain-timeout", 15*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
 		runtimeSample   = flag.Duration("runtime-sample-interval", 10*time.Second, "Go runtime self-sampling interval for the cornet_go_* gauges (0 disables)")
 		logLevel        = flag.String("log-level", "info", "log level (debug|info|warn|error)")
@@ -186,6 +222,18 @@ func main() {
 		"eNodeB": catalog.ImplVendorCLI, "gNodeB": catalog.ImplVendorCLI,
 	}, opts...)
 
+	compCfg := composeSettings{
+		Strategy: *composeStrategy,
+		Window:   *composeWindow,
+		MaxBatch: *composeBatch,
+		Conflict: *composeConflict,
+		Slots:    *composeSlots,
+		Capacity: *composeCapacity,
+	}
+	if err := compCfg.normalize(); err != nil {
+		logger.Error("bad compose flags", "err", err)
+		os.Exit(1)
+	}
 	s := newServer(f, tb, net, *planTimeout, planserve.Config{
 		CacheSize: *planCacheSize,
 		CacheTTL:  *planCacheTTL,
@@ -195,7 +243,7 @@ func main() {
 			QueueLimit:  *planQueueLimit,
 			TenantQuota: *planTenantQuota,
 		},
-	}, logger)
+	}, compCfg, logger)
 	obs.Default.GaugeFunc("cornet_uptime_seconds",
 		"Seconds since cornetd started.",
 		func() float64 { return time.Since(s.started).Seconds() })
@@ -272,14 +320,19 @@ func resolveWorkflow(raw json.RawMessage) (*workflow.Workflow, error) {
 }
 
 // handleExecute accepts {"api": "<deployment api>", "inputs": {...}}.
+// With an optional "compose" object declaring the change's network scope,
+// the execution routes through the composition layer instead: concurrent
+// submissions with composable scopes merge into one composed schedule
+// (see executeComposed).
 func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
 	var req struct {
-		API    string            `json:"api"`
-		Inputs map[string]string `json:"inputs"`
+		API     string            `json:"api"`
+		Inputs  map[string]string `json:"inputs"`
+		Compose *composeRequest   `json:"compose,omitempty"`
 	}
 	if err := decode(r, &req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -298,6 +351,10 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	changeID := changeIDFromRequest(r)
+	if req.Compose != nil {
+		s.executeComposed(w, r, dep, req.API, req.Inputs, req.Compose, tenant, changeID)
+		return
+	}
 	ctx := obs.WithTenant(obs.WithChangeID(r.Context(), changeID), tenant)
 	var root *obs.Span
 	if r.URL.Query().Get("trace") == "1" {

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"cornet/internal/catalog"
 	"cornet/internal/core"
@@ -19,6 +20,12 @@ import (
 )
 
 func testServer(t *testing.T) (*server, *httptest.Server) {
+	return testServerCompose(t, composeSettings{Window: 40 * time.Millisecond})
+}
+
+// testServerCompose builds a test server with explicit composition
+// settings (the compose e2e tests need tailored windows and strategies).
+func testServerCompose(t *testing.T, compCfg composeSettings) (*server, *httptest.Server) {
 	t.Helper()
 	tb := testbed.New(1)
 	testbed.PopulateVNFs(tb, 2)
@@ -30,10 +37,11 @@ func testServer(t *testing.T) (*server, *httptest.Server) {
 		"vCE": catalog.ImplScript, "vGW": catalog.ImplAnsible, "portal": catalog.ImplAnsible,
 		"CPE": catalog.ImplAnsible, "vCOM": catalog.ImplAnsible, "vRAR": catalog.ImplAnsible,
 	}, core.WithInvoker(tb))
-	s := newServer(f, tb, net, 0, planserve.Config{}, nil)
+	s := newServer(f, tb, net, 0, planserve.Config{}, compCfg, nil)
 	srv := httptest.NewServer(newMux(s))
 	t.Cleanup(srv.Close)
 	t.Cleanup(s.planSrv.Stop)
+	t.Cleanup(s.composer.Stop)
 	t.Cleanup(s.sloStop)
 	return s, srv
 }
@@ -369,7 +377,7 @@ func TestPlanEndpointShedsWithRetryAfter(t *testing.T) {
 	f := core.New(map[string]catalog.ImplKind{"vCE": catalog.ImplScript}, core.WithInvoker(tb))
 	s := newServer(f, tb, net, 0, planserve.Config{
 		Admission: planserve.AdmitConfig{Workers: 1, QueueLimit: 1},
-	}, nil)
+	}, composeSettings{}, nil)
 	srv := httptest.NewServer(newMux(s))
 	t.Cleanup(srv.Close)
 	t.Cleanup(s.planSrv.Stop)

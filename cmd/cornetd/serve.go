@@ -110,6 +110,9 @@ func serve(s *server, addr string, drain time.Duration) error {
 	// The plan admission workers drain after the listener: queued plan
 	// requests either finish or fail fast with 503s.
 	defer s.planSrv.Stop()
+	// Seal and drain any open composition generation; its members get
+	// their outcome before the listener finishes draining.
+	defer s.composer.Stop()
 	// Detach the SLO tracker's event-journal feed.
 	defer s.sloStop()
 

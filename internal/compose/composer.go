@@ -1,0 +1,308 @@
+package compose
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cornet/internal/obs"
+)
+
+// ConflictMode is what a submission wants done when its delta conflicts
+// with the changes already gathered in the open composition window.
+type ConflictMode string
+
+// The conflict modes.
+const (
+	// Queue waits for the conflicting generation to complete and then
+	// resubmits, up to Config.MaxRequeue times.
+	Queue ConflictMode = "queue"
+	// Reject fails the submission immediately with a *ConflictError.
+	Reject ConflictMode = "reject"
+)
+
+// ParseConflictMode resolves a conflict-mode name; "" means Reject (the
+// conservative default — never hold a submission without being asked).
+func ParseConflictMode(s string) (ConflictMode, error) {
+	switch ConflictMode(s) {
+	case "":
+		return Reject, nil
+	case Queue, Reject:
+		return ConflictMode(s), nil
+	}
+	return "", fmt.Errorf("compose: unknown conflict mode %q (want queue or reject)", s)
+}
+
+// ErrStopped is returned by Submit after Stop.
+var ErrStopped = errors.New("compose: composer stopped")
+
+// DefaultWindow is the composition window used when Config.Window is
+// unset: how long the first submission of a generation waits for others
+// to arrive before the batch seals and solves.
+const DefaultWindow = 200 * time.Millisecond
+
+// Config parameterizes a Composer.
+type Config struct {
+	// Strategy validates and merges concurrent deltas (required).
+	Strategy Strategy
+	// Window is how long a generation stays open after its first
+	// submission (<= 0 means DefaultWindow).
+	Window time.Duration
+	// MaxBatch seals a generation early once it has gathered this many
+	// member changes (<= 0 means unbounded — the window alone seals).
+	MaxBatch int
+	// MaxRequeue bounds how many times a Queue-mode submission retries
+	// behind conflicting generations before failing (<= 0 means 1).
+	MaxRequeue int
+	// Solve turns the sealed generation's composed delta into a result —
+	// typically plan + dispatch. All member submissions share the one
+	// result. ctx carries the composed change id (obs.ChangeID). nil Solve
+	// composes without solving (Outcome.Result stays nil).
+	Solve func(ctx context.Context, composed *Delta, members []*Delta) (any, error)
+	// NewID mints composed change ids (nil means "cmp-" + random).
+	NewID func() string
+}
+
+// Outcome is what every member submission of a sealed generation
+// receives: the composed identity, the full member list, and the shared
+// solve result.
+type Outcome struct {
+	// ComposedID is the composed change's id (the id the single schedule
+	// was solved under).
+	ComposedID string `json:"composed_id"`
+	// Members lists the constituent change ids, sorted.
+	Members []string `json:"members"`
+	// Strategy names the strategy that merged the members.
+	Strategy string `json:"strategy"`
+	// Parallelism is the strategy's execution promise for the composed
+	// constituents.
+	Parallelism Parallelism `json:"parallelism"`
+	// Delta is the composed delta (the ⊕ of the member deltas).
+	Delta *Delta `json:"-"`
+	// Result is what Config.Solve returned (nil without a Solve).
+	Result any `json:"-"`
+}
+
+// generation is one composition window: the deltas gathered so far and
+// the completion broadcast every member waits on.
+type generation struct {
+	id     string
+	deltas []*Delta
+	timer  *time.Timer
+	sealed bool
+	done   chan struct{}
+	out    *Outcome
+	err    error
+}
+
+// Composer batches concurrently submitted deltas into composed changes.
+// The first submission opens a generation and starts the window timer;
+// later submissions whose deltas validate against the gathered set join
+// it (greedy validate-on-join, so a generation is conflict-free by
+// construction); when the window elapses — or MaxBatch is reached — the
+// generation seals, merges, and solves once, and every member receives
+// the shared Outcome. Conflicting submissions queue behind the
+// generation they collided with or are rejected with the diagnosis,
+// per their ConflictMode.
+type Composer struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cur     *generation
+	stopped bool
+}
+
+// NewComposer returns a Composer using the given config; it panics when
+// cfg.Strategy is nil.
+func NewComposer(cfg Config) *Composer {
+	if cfg.Strategy == nil {
+		panic("compose: NewComposer requires a Strategy")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.MaxRequeue <= 0 {
+		cfg.MaxRequeue = 1
+	}
+	if cfg.NewID == nil {
+		cfg.NewID = func() string {
+			return "cmp-" + strings.TrimPrefix(obs.NewChangeID(), "chg-")
+		}
+	}
+	return &Composer{cfg: cfg}
+}
+
+// Strategy exposes the composer's configured strategy.
+func (c *Composer) Strategy() Strategy { return c.cfg.Strategy }
+
+// Pending reports how many member changes the open (unsealed) generation
+// has gathered — 0 when no window is open. Callers can use it to observe
+// an in-flight batch (tests synchronize on it).
+func (c *Composer) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur == nil {
+		return 0
+	}
+	return len(c.cur.deltas)
+}
+
+// Submit offers one change's delta for composition and blocks until the
+// generation it joined completes (or ctx is done). A delta that conflicts
+// with the open generation is handled per mode: Reject fails immediately
+// with a *ConflictError carrying the Diagnosis; Queue waits for the
+// conflicting generation to complete and retries, failing with the
+// *ConflictError after MaxRequeue unsuccessful retries. Resubmitting the
+// same change id with an equal delta joins its pending generation
+// idempotently; the same id with a different footprint is an error.
+func (c *Composer) Submit(ctx context.Context, d *Delta, mode ConflictMode) (*Outcome, error) {
+	if d == nil || d.ChangeID == "" {
+		return nil, errors.New("compose: Submit requires a delta with a change id")
+	}
+	if mode == "" {
+		mode = Reject
+	}
+	d = (&Delta{ChangeID: d.ChangeID, Tenant: d.Tenant, Ops: append([]Op(nil), d.Ops...)}).Canon()
+	requeued := 0
+	for {
+		g, diag, err := c.join(d)
+		if err != nil {
+			return nil, err
+		}
+		if diag == nil {
+			select {
+			case <-g.done:
+				if g.err != nil {
+					return nil, g.err
+				}
+				return g.out, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if mode == Reject || requeued >= c.cfg.MaxRequeue {
+			cerr := &ConflictError{ChangeID: d.ChangeID, Diagnosis: diag, Requeued: requeued}
+			publishRejected(c.cfg.Strategy, d, diag, requeued)
+			return nil, cerr
+		}
+		requeued++
+		publishQueued(c.cfg.Strategy, d, diag, requeued)
+		select {
+		case <-g.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// join adds the delta to the open generation when it validates, returning
+// the generation it joined. On conflict it returns the open generation
+// (the one to queue behind) plus the diagnosis, without joining.
+func (c *Composer) join(d *Delta) (*generation, *Diagnosis, error) {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return nil, nil, ErrStopped
+	}
+	if c.cur == nil {
+		g := &generation{id: c.cfg.NewID(), done: make(chan struct{})}
+		g.deltas = []*Delta{d}
+		g.timer = time.AfterFunc(c.cfg.Window, func() { c.seal(g) })
+		c.cur = g
+		c.mu.Unlock()
+		return g, nil, nil
+	}
+	g := c.cur
+	for _, m := range g.deltas {
+		if m.ChangeID != d.ChangeID {
+			continue
+		}
+		if m.Equal(d) { // idempotent resubmission
+			c.mu.Unlock()
+			return g, nil, nil
+		}
+		c.mu.Unlock()
+		return nil, nil, fmt.Errorf("compose: change %s already pending with a different delta", d.ChangeID)
+	}
+	cand := append(append([]*Delta(nil), g.deltas...), d)
+	if diag := c.cfg.Strategy.Validate(cand); diag != nil {
+		c.mu.Unlock()
+		return g, diag, nil
+	}
+	g.deltas = cand
+	sealNow := c.cfg.MaxBatch > 0 && len(g.deltas) >= c.cfg.MaxBatch
+	c.mu.Unlock()
+	if sealNow {
+		c.seal(g)
+	}
+	return g, nil, nil
+}
+
+// seal closes a generation exactly once: it composes the member deltas,
+// journals the merge decision, runs Solve, and broadcasts the shared
+// outcome by closing g.done. Idempotent — the window timer, a MaxBatch
+// submitter, and Stop may race to call it.
+func (c *Composer) seal(g *generation) {
+	c.mu.Lock()
+	if g.sealed {
+		c.mu.Unlock()
+		return
+	}
+	g.sealed = true
+	if c.cur == g {
+		c.cur = nil
+	}
+	if g.timer != nil {
+		g.timer.Stop()
+	}
+	members := append([]*Delta(nil), g.deltas...)
+	c.mu.Unlock()
+
+	defer close(g.done)
+	composed, err := c.cfg.Strategy.Compose(g.id, members)
+	if err != nil {
+		// Unreachable by construction (members validated on join), but a
+		// strategy is free to be stricter at compose time.
+		g.err = err
+		return
+	}
+	out := &Outcome{
+		ComposedID:  g.id,
+		Strategy:    c.cfg.Strategy.Name(),
+		Parallelism: c.cfg.Strategy.Parallelism(),
+		Delta:       composed,
+	}
+	for _, m := range members {
+		out.Members = append(out.Members, m.ChangeID)
+	}
+	sort.Strings(out.Members)
+	publishMerged(c.cfg.Strategy, composed, members, out)
+	if c.cfg.Solve != nil {
+		ctx := obs.WithChangeID(context.Background(), g.id)
+		if composed.Tenant != "" {
+			ctx = obs.WithTenant(ctx, composed.Tenant)
+		}
+		out.Result, g.err = c.cfg.Solve(ctx, composed, members)
+		if g.err != nil {
+			return
+		}
+	}
+	g.out = out
+}
+
+// Stop seals and drains the open generation (its members still receive
+// their outcome) and makes further Submits fail with ErrStopped.
+func (c *Composer) Stop() {
+	c.mu.Lock()
+	c.stopped = true
+	g := c.cur
+	c.mu.Unlock()
+	if g != nil {
+		c.seal(g)
+		<-g.done
+	}
+}

@@ -1,0 +1,121 @@
+package compose
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randDelta builds a random delta over a small path/attr/sig universe so
+// collisions and duplicates are common.
+func randDelta(rng *rand.Rand, changeID string) *Delta {
+	d := NewDelta(changeID, "t")
+	n := 1 + rng.Intn(6)
+	markets := []string{"east", "west"}
+	for i := 0; i < n; i++ {
+		p := Path{markets[rng.Intn(2)], string(rune('a' + rng.Intn(4)))}
+		switch rng.Intn(3) {
+		case 0:
+			d.AddNode(p, uint64(rng.Intn(3)))
+		case 1:
+			d.AddAttr(p, "sw_version", uint64(rng.Intn(3)))
+		default:
+			d.AddAttr(p, "cfg_mtu", uint64(rng.Intn(3)))
+		}
+	}
+	return d.Canon()
+}
+
+// TestMergeIdempotent asserts d ⊕ d = d over randomized deltas.
+func TestMergeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		d := randDelta(rng, "chg-a")
+		m := Merge("out", d, d)
+		if !m.Equal(d) {
+			t.Fatalf("iteration %d: Merge(d, d) != d\n d=%+v\n m=%+v", i, d.Ops, m.Ops)
+		}
+	}
+}
+
+// TestMergeCommutativeAssociative asserts every permutation and grouping
+// of a random delta set merges to the same canonical result.
+func TestMergeCommutativeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		deltas := []*Delta{
+			randDelta(rng, "chg-a"), randDelta(rng, "chg-b"),
+			randDelta(rng, "chg-c"), randDelta(rng, "chg-d"),
+		}
+		want := Merge("out", deltas...)
+		for trial := 0; trial < 10; trial++ {
+			perm := rng.Perm(len(deltas))
+			shuffled := make([]*Delta, len(deltas))
+			for j, k := range perm {
+				shuffled[j] = deltas[k]
+			}
+			// Random left/right grouping: fold pairwise in random order.
+			acc := shuffled[0]
+			for _, d := range shuffled[1:] {
+				if rng.Intn(2) == 0 {
+					acc = Merge("out", acc, d)
+				} else {
+					acc = Merge("out", d, acc)
+				}
+			}
+			if !acc.Equal(want) {
+				t.Fatalf("iteration %d trial %d: grouping/order changed the merge\n want=%+v\n got=%+v",
+					i, trial, want.Ops, acc.Ops)
+			}
+		}
+	}
+}
+
+// TestCanonDedupes asserts Canon sorts and removes exact duplicates while
+// keeping distinct sigs on the same (path, attr).
+func TestCanonDedupes(t *testing.T) {
+	d := NewDelta("chg-a", "")
+	d.AddAttr(Path{"east", "x"}, "mtu", 2)
+	d.AddNode(Path{"east", "x"}, 1)
+	d.AddNode(Path{"east", "x"}, 1)
+	d.AddAttr(Path{"east", "x"}, "mtu", 2)
+	d.AddAttr(Path{"east", "x"}, "mtu", 3)
+	d.Canon()
+	if len(d.Ops) != 3 {
+		t.Fatalf("Canon kept %d ops, want 3: %+v", len(d.Ops), d.Ops)
+	}
+	for i := 1; i < len(d.Ops); i++ {
+		if !d.Ops[i-1].less(d.Ops[i]) {
+			t.Fatalf("Canon output not strictly ordered at %d: %+v", i, d.Ops)
+		}
+	}
+}
+
+// TestPathContainsOrEqual covers the ancestor predicate edge cases.
+func TestPathContainsOrEqual(t *testing.T) {
+	cases := []struct {
+		p, q Path
+		want bool
+	}{
+		{Path{"east"}, Path{"east", "x"}, true},
+		{Path{"east"}, Path{"east"}, true},
+		{Path{"east", "x"}, Path{"east"}, false},
+		{Path{"east"}, Path{"west", "x"}, false},
+		{Path{}, Path{"east"}, true},
+	}
+	for _, c := range cases {
+		if got := c.p.ContainsOrEqual(c.q); got != c.want {
+			t.Errorf("ContainsOrEqual(%v, %v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+// TestSigStable asserts Sig separates fields (no concatenation aliasing)
+// and is deterministic.
+func TestSigStable(t *testing.T) {
+	if Sig("ab", "c") == Sig("a", "bc") {
+		t.Fatal("Sig must separate fields")
+	}
+	if Sig("upgrade", "v2") != Sig("upgrade", "v2") {
+		t.Fatal("Sig must be deterministic")
+	}
+}

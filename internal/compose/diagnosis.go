@@ -1,0 +1,145 @@
+package compose
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Collision kinds reported in a Diagnosis.
+const (
+	// CollisionSubtree is an ancestor/descendant scope overlap between two
+	// changes (disjoint-subtree granularity).
+	CollisionSubtree = "subtree-overlap"
+	// CollisionNode is two changes mutating the same node differently
+	// (node granularity, or equal paths under subtree granularity).
+	CollisionNode = "node"
+	// CollisionAttribute is two changes writing the same attribute of the
+	// same node differently, or an attribute write colliding with a
+	// whole-node claim (attribute granularity).
+	CollisionAttribute = "attribute"
+)
+
+// Collision is one detected conflict between changes.
+type Collision struct {
+	// Kind classifies the collision (CollisionSubtree, CollisionNode,
+	// CollisionAttribute).
+	Kind string `json:"kind"`
+	// Path is the colliding scope.
+	Path string `json:"path"`
+	// OtherPath is the second scope of a subtree overlap (the ancestor or
+	// descendant of Path); empty for same-path collisions.
+	OtherPath string `json:"other_path,omitempty"`
+	// Attr is the colliding attribute ("" for whole-node collisions).
+	Attr string `json:"attr,omitempty"`
+	// Changes lists the change ids involved, sorted.
+	Changes []string `json:"changes"`
+}
+
+// Diagnosis is the machine-readable explanation of why a set of deltas
+// refused to compose: which strategy refused at which granularity, every
+// node/attribute collision found, and a suggested resubmission scope.
+// cmd/cornetd returns it verbatim in 409 responses, and the composer
+// journals it on compose.rejected events, so both the submitting team and
+// a later operator can reconstruct the refusal.
+type Diagnosis struct {
+	// Strategy names the refusing strategy.
+	Strategy string `json:"strategy"`
+	// Granularity is the refusing strategy's conflict granularity.
+	Granularity Granularity `json:"granularity"`
+	// Collisions lists every conflict found, sorted by path.
+	Collisions []Collision `json:"collisions"`
+	// Suggestion tells the submitter how to make the change composable.
+	Suggestion string `json:"suggestion"`
+}
+
+// summarize fills the Suggestion from the collision list and sorts it
+// canonically.
+func (d *Diagnosis) summarize() {
+	sort.Slice(d.Collisions, func(i, j int) bool {
+		a, b := d.Collisions[i], d.Collisions[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Attr != b.Attr {
+			return a.Attr < b.Attr
+		}
+		return a.Kind < b.Kind
+	})
+	paths := map[string]bool{}
+	behind := map[string]bool{}
+	for _, c := range d.Collisions {
+		paths[c.Path] = true
+		for _, ch := range c.Changes {
+			behind[ch] = true
+		}
+	}
+	d.Suggestion = fmt.Sprintf(
+		"rescope the submission away from [%s], wait for [%s] to complete and resubmit, or resubmit with on_conflict=queue",
+		strings.Join(sortedKeys(paths), ", "), strings.Join(sortedKeys(behind), ", "))
+}
+
+// Paths returns the distinct colliding scopes, sorted — the nodes a
+// resubmission must avoid.
+func (d *Diagnosis) Paths() []string {
+	set := map[string]bool{}
+	for _, c := range d.Collisions {
+		set[c.Path] = true
+		if c.OtherPath != "" {
+			set[c.OtherPath] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+// Changes returns the distinct change ids involved in any collision,
+// sorted — the changes a queued resubmission would wait behind.
+func (d *Diagnosis) Changes() []string {
+	set := map[string]bool{}
+	for _, c := range d.Collisions {
+		for _, ch := range c.Changes {
+			set[ch] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+// ConflictError is the error a refused submission receives: the diagnosis
+// plus how the composer disposed of the change. It unwraps to nothing —
+// match with errors.As.
+type ConflictError struct {
+	// ChangeID is the refused change.
+	ChangeID string
+	// Diagnosis explains the refusal.
+	Diagnosis *Diagnosis
+	// Requeued counts how many times the submission was queued behind a
+	// conflicting change before giving up (0 when rejected outright).
+	Requeued int
+}
+
+// Error summarizes the refusal in one line; the structured detail is in
+// Diagnosis.
+func (e *ConflictError) Error() string {
+	n := 0
+	if e.Diagnosis != nil {
+		n = len(e.Diagnosis.Collisions)
+	}
+	strategy := ""
+	if e.Diagnosis != nil {
+		strategy = e.Diagnosis.Strategy
+	}
+	if e.Requeued > 0 {
+		return fmt.Sprintf("compose: change %s still conflicting after %d requeue(s): %d collision(s) under strategy %q",
+			e.ChangeID, e.Requeued, n, strategy)
+	}
+	return fmt.Sprintf("compose: change %s conflicts: %d collision(s) under strategy %q", e.ChangeID, n, strategy)
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

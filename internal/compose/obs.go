@@ -1,0 +1,75 @@
+package compose
+
+import (
+	"cornet/internal/obs"
+	"cornet/internal/obs/events"
+)
+
+// Composition metrics, registered in the process-wide obs registry and
+// documented in the README metrics table.
+var (
+	metricMerged = obs.Default.CounterVec("cornet_compose_merged_total",
+		"Constituent changes merged into a composed schedule, by strategy.", "strategy")
+	metricQueued = obs.Default.CounterVec("cornet_compose_queued_total",
+		"Conflicting submissions queued behind another change, by strategy.", "strategy")
+	metricRejected = obs.Default.CounterVec("cornet_compose_rejected_total",
+		"Conflicting submissions rejected with a diagnosis, by strategy.", "strategy")
+)
+
+// publishMerged journals a sealed generation's merge decision: one
+// compose.merged event on the composed change's timeline listing the
+// members, plus one on each member's timeline linking back to the
+// composed id — so both directions of the composition are reconstructable
+// from GET /api/changes/{id}/timeline.
+func publishMerged(s Strategy, composed *Delta, members []*Delta, out *Outcome) {
+	metricMerged.With(s.Name()).Add(float64(len(members)))
+	base := map[string]any{
+		"composed":    out.ComposedID,
+		"members":     out.Members,
+		"strategy":    out.Strategy,
+		"parallelism": string(out.Parallelism),
+		"ops":         len(composed.Ops),
+	}
+	events.Default.Publish(events.Event{
+		Type: events.TypeComposeMerged, Source: "compose",
+		ChangeID: out.ComposedID, Tenant: composed.Tenant, Fields: base,
+	})
+	for _, m := range members {
+		events.Default.Publish(events.Event{
+			Type: events.TypeComposeMerged, Source: "compose",
+			ChangeID: m.ChangeID, Tenant: m.Tenant, Fields: base,
+		})
+	}
+}
+
+// publishQueued journals one conflicting submission parking behind the
+// changes named in the diagnosis.
+func publishQueued(s Strategy, d *Delta, diag *Diagnosis, requeue int) {
+	metricQueued.With(s.Name()).Inc()
+	events.Default.Publish(events.Event{
+		Type: events.TypeComposeQueued, Source: "compose",
+		ChangeID: d.ChangeID, Tenant: d.Tenant,
+		Fields: map[string]any{
+			"strategy": s.Name(),
+			"behind":   diag.Changes(),
+			"paths":    diag.Paths(),
+			"requeue":  requeue,
+		},
+	})
+}
+
+// publishRejected journals one refused submission with its diagnosis.
+func publishRejected(s Strategy, d *Delta, diag *Diagnosis, requeued int) {
+	metricRejected.With(s.Name()).Inc()
+	events.Default.Publish(events.Event{
+		Type: events.TypeComposeRejected, Source: "compose",
+		ChangeID: d.ChangeID, Tenant: d.Tenant,
+		Fields: map[string]any{
+			"strategy":   s.Name(),
+			"behind":     diag.Changes(),
+			"paths":      diag.Paths(),
+			"collisions": len(diag.Collisions),
+			"requeued":   requeued,
+		},
+	})
+}

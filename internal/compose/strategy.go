@@ -1,0 +1,417 @@
+package compose
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Granularity is the scope level at which a strategy detects conflicts,
+// mirroring the composition-strategy blueprint: the coarser the
+// granularity, the more conflicts are prevented structurally and the more
+// parallelism the composed change admits.
+type Granularity string
+
+// The three conflict granularities.
+const (
+	// Subtree conflicts on any ancestor/descendant scope relationship:
+	// each change must claim a disjoint subtree (structural prevention).
+	Subtree Granularity = "subtree"
+	// Node conflicts only on exact node overlap: changes may share a
+	// subtree as long as they mutate different nodes.
+	Node Granularity = "node"
+	// Attribute conflicts only when the same attribute of the same node is
+	// written differently: changes may share a node.
+	Attribute Granularity = "attribute"
+)
+
+// Parallelism describes how a strategy's composed constituents may
+// execute relative to each other.
+type Parallelism string
+
+// The parallelism classes a strategy can promise.
+const (
+	// Full: constituents are structurally independent; the dispatcher may
+	// run them all concurrently.
+	Full Parallelism = "full"
+	// Partial: constituents are disjoint at node level but may share
+	// subtree infrastructure; bounded concurrency applies.
+	Partial Parallelism = "partial"
+	// None: constituents may share nodes; execution is sequential.
+	None Parallelism = "none"
+)
+
+// Strategy is the pluggable composition contract: how the deltas of
+// concurrently submitted changes interact. Implementations must satisfy
+// three laws, property-tested in this package: Validate is a pure set
+// predicate (permuting the deltas cannot change the verdict), Compose is
+// idempotent (composing a delta with itself is the delta), and Compose is
+// associative and commutative over validated deltas (any grouping or
+// ordering merges to the same composed delta) — so retries and reordering
+// of submissions are safe.
+type Strategy interface {
+	// Name identifies the strategy ("subtree", "node", "attribute").
+	Name() string
+	// Granularity is the conflict granularity the strategy detects at.
+	Granularity() Granularity
+	// Parallelism reports how the composed constituents may execute; the
+	// dispatcher derives its slot concurrency from it.
+	Parallelism() Parallelism
+	// Validate checks that the deltas can compose, returning nil when they
+	// can and a full Diagnosis (every collision, not just the first) when
+	// they cannot. Deltas must carry distinct change ids.
+	Validate(deltas []*Delta) *Diagnosis
+	// Compose merges validated deltas into one composed delta under the
+	// given composed change id; it re-validates and fails with a
+	// *ConflictError when the deltas do not compose.
+	Compose(changeID string, deltas []*Delta) (*Delta, error)
+}
+
+// SubtreeStrategy composes only changes claiming disjoint subtrees —
+// conflicts are structurally impossible in the result, so constituents
+// execute fully parallel.
+type SubtreeStrategy struct{}
+
+// NodeStrategy composes changes touching disjoint nodes; shared subtrees
+// are allowed, so constituents execute with bounded (partial) concurrency.
+type NodeStrategy struct{}
+
+// AttributeStrategy composes changes down to disjoint attribute writes on
+// shared nodes; constituents may co-locate on a node, so execution is
+// sequential.
+type AttributeStrategy struct{}
+
+// Name implements Strategy.
+func (SubtreeStrategy) Name() string { return "subtree" }
+
+// Granularity implements Strategy.
+func (SubtreeStrategy) Granularity() Granularity { return Subtree }
+
+// Parallelism implements Strategy.
+func (SubtreeStrategy) Parallelism() Parallelism { return Full }
+
+// Validate implements Strategy: no ancestor/descendant or same-node
+// overlap between different changes' scopes.
+func (s SubtreeStrategy) Validate(deltas []*Delta) *Diagnosis {
+	idx := indexDeltas(deltas)
+	var cols []Collision
+	cols = append(cols, idx.samePathCollisions(Node)...)
+	cols = append(cols, idx.subtreeCollisions()...)
+	return diagnose(s, cols)
+}
+
+// Compose implements Strategy.
+func (s SubtreeStrategy) Compose(changeID string, deltas []*Delta) (*Delta, error) {
+	return compose(s, changeID, deltas)
+}
+
+// Name implements Strategy.
+func (NodeStrategy) Name() string { return "node" }
+
+// Granularity implements Strategy.
+func (NodeStrategy) Granularity() Granularity { return Node }
+
+// Parallelism implements Strategy.
+func (NodeStrategy) Parallelism() Parallelism { return Partial }
+
+// Validate implements Strategy: different changes may not mutate the same
+// node differently (identical mutations compose idempotently).
+func (s NodeStrategy) Validate(deltas []*Delta) *Diagnosis {
+	return diagnose(s, indexDeltas(deltas).samePathCollisions(Node))
+}
+
+// Compose implements Strategy.
+func (s NodeStrategy) Compose(changeID string, deltas []*Delta) (*Delta, error) {
+	return compose(s, changeID, deltas)
+}
+
+// Name implements Strategy.
+func (AttributeStrategy) Name() string { return "attribute" }
+
+// Granularity implements Strategy.
+func (AttributeStrategy) Granularity() Granularity { return Attribute }
+
+// Parallelism implements Strategy.
+func (AttributeStrategy) Parallelism() Parallelism { return None }
+
+// Validate implements Strategy: different changes may share nodes but not
+// write the same attribute differently; a whole-node op (empty Attr)
+// claims every attribute and conflicts with any non-identical op on its
+// path.
+func (s AttributeStrategy) Validate(deltas []*Delta) *Diagnosis {
+	return diagnose(s, indexDeltas(deltas).samePathCollisions(Attribute))
+}
+
+// Compose implements Strategy.
+func (s AttributeStrategy) Compose(changeID string, deltas []*Delta) (*Delta, error) {
+	return compose(s, changeID, deltas)
+}
+
+// Strategies returns one instance of every built-in strategy, coarsest
+// granularity first.
+func Strategies() []Strategy {
+	return []Strategy{SubtreeStrategy{}, NodeStrategy{}, AttributeStrategy{}}
+}
+
+// ForName resolves a strategy by name ("subtree", "node", "attribute").
+func ForName(name string) (Strategy, error) {
+	for _, s := range Strategies() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("compose: unknown strategy %q (want subtree, node, or attribute)", name)
+}
+
+// diagnose wraps a collision list into a Diagnosis (nil when empty).
+func diagnose(s Strategy, cols []Collision) *Diagnosis {
+	if len(cols) == 0 {
+		return nil
+	}
+	d := &Diagnosis{Strategy: s.Name(), Granularity: s.Granularity(), Collisions: cols}
+	d.summarize()
+	return d
+}
+
+// compose is the shared Compose body: re-validate, then canonical union.
+// The composed delta keeps the constituents' tenant when they agree.
+func compose(s Strategy, changeID string, deltas []*Delta) (*Delta, error) {
+	if diag := s.Validate(deltas); diag != nil {
+		return nil, &ConflictError{ChangeID: changeID, Diagnosis: diag}
+	}
+	out := Merge(changeID, deltas...)
+	tenant := ""
+	for i, d := range deltas {
+		if i == 0 {
+			tenant = d.Tenant
+		} else if d.Tenant != tenant {
+			tenant = ""
+			break
+		}
+	}
+	out.Tenant = tenant
+	return out, nil
+}
+
+// pathOps is the per-path view of every submitted op, per change.
+type pathOps struct {
+	path Path
+	// perChange maps change id -> that change's ops on this path.
+	perChange map[string][]Op
+}
+
+// deltaIndex groups all deltas' ops by path for conflict detection.
+type deltaIndex struct {
+	byPath map[string]*pathOps
+	keys   []string // sorted path keys
+}
+
+// indexDeltas builds the path index over the deltas' canonical ops.
+func indexDeltas(deltas []*Delta) *deltaIndex {
+	idx := &deltaIndex{byPath: map[string]*pathOps{}}
+	for _, d := range deltas {
+		c := (&Delta{Ops: append([]Op(nil), d.Ops...)}).Canon()
+		for _, op := range c.Ops {
+			key := op.Path.String()
+			pn := idx.byPath[key]
+			if pn == nil {
+				pn = &pathOps{path: op.Path, perChange: map[string][]Op{}}
+				idx.byPath[key] = pn
+				idx.keys = append(idx.keys, key)
+			}
+			pn.perChange[d.ChangeID] = append(pn.perChange[d.ChangeID], op)
+		}
+	}
+	sort.Strings(idx.keys)
+	return idx
+}
+
+// mutationKey serializes a change's op set on one path ("" Attr spelled
+// out) so identical mutation sets compare equal.
+func mutationKey(ops []Op) string {
+	parts := make([]string, len(ops))
+	for i, op := range ops {
+		parts[i] = fmt.Sprintf("%s\x1f%d", op.Attr, op.Sig)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\x1e")
+}
+
+// samePathCollisions finds collisions between different changes on equal
+// paths. At Node granularity (also used for equal paths under Subtree),
+// two changes collide when their mutation sets on the path differ at all.
+// At Attribute granularity they collide only when a specific attribute is
+// written differently, or when a whole-node op meets any non-identical op.
+func (idx *deltaIndex) samePathCollisions(g Granularity) []Collision {
+	var cols []Collision
+	for _, key := range idx.keys {
+		pn := idx.byPath[key]
+		if len(pn.perChange) < 2 {
+			continue
+		}
+		if g == Node {
+			keys := map[string][]string{} // mutation key -> change ids
+			for ch, ops := range pn.perChange {
+				mk := mutationKey(ops)
+				keys[mk] = append(keys[mk], ch)
+			}
+			if len(keys) < 2 {
+				continue
+			}
+			cols = append(cols, Collision{Kind: CollisionNode, Path: key, Changes: changeIDs(pn)})
+			continue
+		}
+		cols = append(cols, attributeCollisions(key, pn)...)
+	}
+	return cols
+}
+
+// attributeCollisions implements the Attribute-granularity same-path
+// rules for one path.
+func attributeCollisions(key string, pn *pathOps) []Collision {
+	type view struct {
+		wild    map[uint64]bool   // whole-node op signatures
+		byAttr  map[string]string // attr -> canonical sig-set key
+		hasAttr bool
+		mkey    string // full mutation-set key; equal keys never conflict
+	}
+	views := map[string]*view{}
+	for ch, ops := range pn.perChange {
+		v := &view{wild: map[uint64]bool{}, byAttr: map[string]string{}, mkey: mutationKey(ops)}
+		sigs := map[string][]string{}
+		for _, op := range ops {
+			if op.Attr == "" {
+				v.wild[op.Sig] = true
+				continue
+			}
+			v.hasAttr = true
+			sigs[op.Attr] = append(sigs[op.Attr], fmt.Sprint(op.Sig))
+		}
+		for attr, ss := range sigs {
+			sort.Strings(ss)
+			v.byAttr[attr] = strings.Join(ss, ",")
+		}
+		views[ch] = v
+	}
+	chs := make([]string, 0, len(views))
+	for ch := range views {
+		chs = append(chs, ch)
+	}
+	sort.Strings(chs)
+
+	var cols []Collision
+	nodeClash := map[string]bool{} // change set involved in whole-node clashes
+	attrClash := map[string]map[string]bool{}
+	for i := 0; i < len(chs); i++ {
+		for j := i + 1; j < len(chs); j++ {
+			x, y := views[chs[i]], views[chs[j]]
+			if x.mkey == y.mkey {
+				continue // identical mutations compose idempotently
+			}
+			// A whole-node claim conflicts with any differing whole-node
+			// claim and with every attribute-level write by another change.
+			if (len(x.wild) > 0 && len(y.wild) > 0 && !sameSigSet(x.wild, y.wild)) ||
+				(len(x.wild) > 0 && y.hasAttr) || (len(y.wild) > 0 && x.hasAttr) {
+				nodeClash[chs[i]] = true
+				nodeClash[chs[j]] = true
+			}
+			for attr, xs := range x.byAttr {
+				if ys, ok := y.byAttr[attr]; ok && xs != ys {
+					if attrClash[attr] == nil {
+						attrClash[attr] = map[string]bool{}
+					}
+					attrClash[attr][chs[i]] = true
+					attrClash[attr][chs[j]] = true
+				}
+			}
+		}
+	}
+	if len(nodeClash) > 0 {
+		cols = append(cols, Collision{Kind: CollisionNode, Path: key, Changes: sortedKeys(nodeClash)})
+	}
+	for _, attr := range sortedAttrKeys(attrClash) {
+		cols = append(cols, Collision{Kind: CollisionAttribute, Path: key, Attr: attr, Changes: sortedKeys(attrClash[attr])})
+	}
+	return cols
+}
+
+// subtreeCollisions finds proper ancestor/descendant overlaps between
+// different changes' paths via a sorted ancestor-stack scan.
+func (idx *deltaIndex) subtreeCollisions() []Collision {
+	var cols []Collision
+	var stack []*pathOps
+	for _, key := range idx.keys {
+		pn := idx.byPath[key]
+		for len(stack) > 0 && !stack[len(stack)-1].path.ContainsOrEqual(pn.path) {
+			stack = stack[:len(stack)-1]
+		}
+		for _, anc := range stack {
+			if crossChange(anc, pn) {
+				cols = append(cols, Collision{
+					Kind: CollisionSubtree, Path: key, OtherPath: anc.path.String(),
+					Changes: unionChanges(anc, pn),
+				})
+			}
+		}
+		stack = append(stack, pn)
+	}
+	return cols
+}
+
+// crossChange reports whether two path entries involve at least two
+// distinct changes between them.
+func crossChange(a, b *pathOps) bool {
+	for x := range a.perChange {
+		for y := range b.perChange {
+			if x != y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unionChanges returns the sorted union of the changes touching either
+// path entry.
+func unionChanges(a, b *pathOps) []string {
+	set := map[string]bool{}
+	for ch := range a.perChange {
+		set[ch] = true
+	}
+	for ch := range b.perChange {
+		set[ch] = true
+	}
+	return sortedKeys(set)
+}
+
+// changeIDs returns the sorted change ids touching a path.
+func changeIDs(pn *pathOps) []string {
+	set := map[string]bool{}
+	for ch := range pn.perChange {
+		set[ch] = true
+	}
+	return sortedKeys(set)
+}
+
+// sameSigSet compares two signature sets.
+func sameSigSet(a, b map[uint64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for s := range a {
+		if !b[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAttrKeys returns the attribute names of a clash map, sorted.
+func sortedAttrKeys(m map[string]map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,221 @@
+package compose
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func node(id, tenant string, paths ...Path) *Delta {
+	d := NewDelta(id, tenant)
+	for _, p := range paths {
+		d.AddNode(p, Sig("payload", id))
+	}
+	return d.Canon()
+}
+
+// TestStrategyTable drives every strategy through the canonical
+// compose/conflict scenarios.
+func TestStrategyTable(t *testing.T) {
+	east := Path{"east", "vce-000"}
+	east2 := Path{"east", "vce-002"}
+	west := Path{"west", "vgw-001"}
+	eastTree := Path{"east"}
+
+	sharedSig := Sig("same", "payload")
+	shared := func(id string) *Delta {
+		return NewDelta(id, "").AddNode(east, sharedSig).Canon()
+	}
+
+	cases := []struct {
+		name     string
+		strategy Strategy
+		deltas   []*Delta
+		wantKind string // "" = composes
+	}{
+		{"subtree/disjoint-markets", SubtreeStrategy{},
+			[]*Delta{node("a", "t1", east), node("b", "t2", west)}, ""},
+		{"subtree/ancestor-overlap", SubtreeStrategy{},
+			[]*Delta{node("a", "t1", eastTree), node("b", "t2", east)}, CollisionSubtree},
+		{"subtree/same-node-differs", SubtreeStrategy{},
+			[]*Delta{node("a", "t1", east), node("b", "t2", east)}, CollisionNode},
+		{"subtree/same-node-identical", SubtreeStrategy{},
+			[]*Delta{shared("a"), shared("b")}, ""},
+		{"node/same-subtree-different-nodes", NodeStrategy{},
+			[]*Delta{node("a", "t1", east), node("b", "t2", east2)}, ""},
+		{"node/same-node-differs", NodeStrategy{},
+			[]*Delta{node("a", "t1", east), node("b", "t2", east)}, CollisionNode},
+		{"node/same-node-identical", NodeStrategy{},
+			[]*Delta{shared("a"), shared("b")}, ""},
+		{"attribute/same-node-different-attrs", AttributeStrategy{},
+			[]*Delta{
+				NewDelta("a", "").AddAttr(east, "sw_version", 1).Canon(),
+				NewDelta("b", "").AddAttr(east, "cfg_mtu", 2).Canon(),
+			}, ""},
+		{"attribute/same-attr-differs", AttributeStrategy{},
+			[]*Delta{
+				NewDelta("a", "").AddAttr(east, "sw_version", 1).Canon(),
+				NewDelta("b", "").AddAttr(east, "sw_version", 2).Canon(),
+			}, CollisionAttribute},
+		{"attribute/same-attr-identical", AttributeStrategy{},
+			[]*Delta{
+				NewDelta("a", "").AddAttr(east, "sw_version", 1).Canon(),
+				NewDelta("b", "").AddAttr(east, "sw_version", 1).Canon(),
+			}, ""},
+		{"attribute/wildcard-vs-attr", AttributeStrategy{},
+			[]*Delta{
+				NewDelta("a", "").AddNode(east, 1).Canon(),
+				NewDelta("b", "").AddAttr(east, "sw_version", 1).Canon(),
+			}, CollisionNode},
+		{"attribute/wildcard-identical", AttributeStrategy{},
+			[]*Delta{shared("a"), shared("b")}, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			diag := c.strategy.Validate(c.deltas)
+			if c.wantKind == "" {
+				if diag != nil {
+					t.Fatalf("Validate refused: %+v", diag)
+				}
+				out, err := c.strategy.Compose("cmp-1", c.deltas)
+				if err != nil {
+					t.Fatalf("Compose: %v", err)
+				}
+				if out.ChangeID != "cmp-1" {
+					t.Fatalf("composed id = %q", out.ChangeID)
+				}
+				want := Merge("cmp-1", c.deltas...)
+				if !out.Equal(want) {
+					t.Fatalf("Compose != Merge: %+v vs %+v", out.Ops, want.Ops)
+				}
+				return
+			}
+			if diag == nil {
+				t.Fatal("Validate composed, want conflict")
+			}
+			if diag.Strategy != c.strategy.Name() {
+				t.Fatalf("diagnosis names strategy %q, want %q", diag.Strategy, c.strategy.Name())
+			}
+			found := false
+			for _, col := range diag.Collisions {
+				if col.Kind == c.wantKind {
+					found = true
+					if len(col.Changes) < 2 {
+						t.Fatalf("collision names %v, want >= 2 changes", col.Changes)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("no %q collision in %+v", c.wantKind, diag.Collisions)
+			}
+			if diag.Suggestion == "" {
+				t.Fatal("diagnosis has no suggestion")
+			}
+			if _, err := c.strategy.Compose("cmp-1", c.deltas); err == nil {
+				t.Fatal("Compose succeeded on conflicting deltas")
+			} else {
+				var cerr *ConflictError
+				if !errors.As(err, &cerr) {
+					t.Fatalf("Compose error %T, want *ConflictError", err)
+				}
+			}
+		})
+	}
+}
+
+// TestValidateOrderIndependent asserts each strategy's verdict is a set
+// predicate: permuting the deltas never changes accept/refuse or the
+// collision set.
+func TestValidateOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, s := range Strategies() {
+		for i := 0; i < 60; i++ {
+			deltas := []*Delta{
+				randDelta(rng, "chg-a"), randDelta(rng, "chg-b"), randDelta(rng, "chg-c"),
+			}
+			base := s.Validate(deltas)
+			for trial := 0; trial < 6; trial++ {
+				perm := rng.Perm(len(deltas))
+				shuffled := make([]*Delta, len(deltas))
+				for j, k := range perm {
+					shuffled[j] = deltas[k]
+				}
+				got := s.Validate(shuffled)
+				if (base == nil) != (got == nil) {
+					t.Fatalf("%s: permutation changed the verdict (iter %d)", s.Name(), i)
+				}
+				if base == nil {
+					continue
+				}
+				if len(got.Collisions) != len(base.Collisions) {
+					t.Fatalf("%s: permutation changed collisions: %d vs %d",
+						s.Name(), len(got.Collisions), len(base.Collisions))
+				}
+				for j := range base.Collisions {
+					a, b := base.Collisions[j], got.Collisions[j]
+					if a.Kind != b.Kind || a.Path != b.Path || a.Attr != b.Attr {
+						t.Fatalf("%s: permutation reordered collisions: %+v vs %+v", s.Name(), a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGranularityOrdering asserts the documented containment: anything
+// the attribute strategy refuses, the node strategy refuses; anything
+// node refuses, subtree refuses.
+func TestGranularityOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	sub, nod, att := SubtreeStrategy{}, NodeStrategy{}, AttributeStrategy{}
+	for i := 0; i < 150; i++ {
+		deltas := []*Delta{randDelta(rng, "chg-a"), randDelta(rng, "chg-b")}
+		if att.Validate(deltas) != nil && nod.Validate(deltas) == nil {
+			t.Fatalf("iter %d: attribute refused but node composed", i)
+		}
+		if nod.Validate(deltas) != nil && sub.Validate(deltas) == nil {
+			t.Fatalf("iter %d: node refused but subtree composed", i)
+		}
+	}
+}
+
+// TestForName covers the registry.
+func TestForName(t *testing.T) {
+	for _, name := range []string{"subtree", "node", "attribute"} {
+		s, err := ForName(name)
+		if err != nil || s.Name() != name {
+			t.Fatalf("ForName(%q) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := ForName("bogus"); err == nil {
+		t.Fatal("ForName(bogus) succeeded")
+	}
+}
+
+// TestParallelismContract pins each granularity's execution promise.
+func TestParallelismContract(t *testing.T) {
+	want := map[Granularity]Parallelism{Subtree: Full, Node: Partial, Attribute: None}
+	for _, s := range Strategies() {
+		if s.Parallelism() != want[s.Granularity()] {
+			t.Fatalf("%s: parallelism %s, want %s", s.Name(), s.Parallelism(), want[s.Granularity()])
+		}
+	}
+}
+
+// TestDiagnosisPathsChanges covers the diagnosis accessors.
+func TestDiagnosisPathsChanges(t *testing.T) {
+	d := &Diagnosis{Collisions: []Collision{
+		{Kind: CollisionSubtree, Path: "east/x", OtherPath: "east", Changes: []string{"b", "a"}},
+		{Kind: CollisionNode, Path: "west/y", Changes: []string{"c", "a"}},
+	}}
+	d.summarize()
+	if got := d.Paths(); len(got) != 3 || got[0] != "east" {
+		t.Fatalf("Paths() = %v", got)
+	}
+	if got := d.Changes(); len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("Changes() = %v", got)
+	}
+	if d.Suggestion == "" {
+		t.Fatal("summarize left Suggestion empty")
+	}
+}

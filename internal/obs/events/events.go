@@ -47,6 +47,11 @@ const (
 	TypeRollback      Type = "wf.rollback"
 	TypeBreaker       Type = "breaker.transition"
 
+	// Composition ("compose"): concurrent change composition decisions.
+	TypeComposeMerged   Type = "compose.merged"
+	TypeComposeQueued   Type = "compose.queued"
+	TypeComposeRejected Type = "compose.rejected"
+
 	// Verifier ("verifier"): go/no-go verification reports.
 	TypeVerifyReport Type = "verify.report"
 

@@ -18,6 +18,12 @@ type ScheduledChange struct {
 	Instance string
 	Timeslot int
 	Inputs   map[string]string
+	// ChangeID, when set, attributes the execution to a change timeline:
+	// the dispatcher threads it into the workflow's context so the
+	// orchestrator's lifecycle events land on that change's journal
+	// timeline. Composed schedules set it per constituent, keeping each
+	// member change's execution trail separate inside the one dispatch.
+	ChangeID string
 }
 
 // Dispatcher invokes the orchestrator at the scheduled time for each
@@ -88,6 +94,9 @@ func (d *Dispatcher) Run(ctx context.Context, dep DeploymentResolver, changes []
 		for _, c := range batch {
 			c := c
 			pool.Go(slotCtx, func(slotCtx context.Context) {
+				if c.ChangeID != "" {
+					slotCtx = obs.WithChangeID(slotCtx, c.ChangeID)
+				}
 				deployment, err := dep(c)
 				var res Result
 				res.Instance, res.Timeslot = c.Instance, c.Timeslot
