@@ -111,12 +111,14 @@ type composeRequest struct {
 }
 
 // composePayload is what a pending composed submission needs at solve
-// time: the deployment to execute and the workflow inputs. Entries are
-// reference-counted so an idempotent resubmission of a pending change
-// shares the first submission's payload.
+// time: the deployment to execute and the workflow inputs, plus the
+// payload signature (payloadSig) composeSolve dedupes executions by.
+// Entries are reference-counted so an idempotent resubmission of a
+// pending change shares the first submission's payload.
 type composePayload struct {
 	dep    *workflow.Deployment
 	inputs map[string]string
+	sig    uint64
 	refs   int
 }
 
@@ -127,20 +129,46 @@ type composedRun struct {
 	// Owners maps each instance to the sorted member change ids claiming
 	// it.
 	Owners map[string][]string
-	// Results are the dispatch outcomes, ordered by (slot, instance).
+	// Served maps each dispatched execution — keyed by servedKey(instance,
+	// dispatching change id) — to every member change id it served:
+	// co-claimants whose payloads were identical ride the one dispatch;
+	// members with a distinct payload get their own entry.
+	Served map[string][]string
+	// Unowned lists instances that were planned into the composed schedule
+	// but never dispatched because no claiming member still had a live
+	// payload (its submitter canceled after the generation sealed), sorted.
+	Unowned []string
+	// Results are the dispatch outcomes, ordered by (slot, instance,
+	// change).
 	Results []orchestrator.Result
+}
+
+// servedKey keys one dispatched execution in composedRun.Served.
+func servedKey(instance, changeID string) string {
+	return instance + "\x1f" + changeID
+}
+
+// payloadSig signs a submission's executable payload (workflow API plus
+// inputs) — the identity by which composeSolve decides whether two
+// co-claiming members of one instance can share a single execution.
+func payloadSig(api string, inputs map[string]string) uint64 {
+	parts := []string{api}
+	for _, k := range sortedKeys(inputs) {
+		parts = append(parts, k, inputs[k])
+	}
+	return compose.Sig(parts...)
 }
 
 // registerPayload records (or references) the pending payload for a
 // change id; release undoes one reference.
-func (s *server) registerPayload(changeID string, dep *workflow.Deployment, inputs map[string]string) {
+func (s *server) registerPayload(changeID string, dep *workflow.Deployment, inputs map[string]string, sig uint64) {
 	s.cmu.Lock()
 	defer s.cmu.Unlock()
 	if p, ok := s.pending[changeID]; ok {
 		p.refs++
 		return
 	}
-	s.pending[changeID] = &composePayload{dep: dep, inputs: inputs, refs: 1}
+	s.pending[changeID] = &composePayload{dep: dep, inputs: inputs, sig: sig, refs: 1}
 }
 
 func (s *server) releasePayload(changeID string) {
@@ -214,11 +242,7 @@ func (s *server) buildDelta(changeID, tenant, api string, inputs map[string]stri
 	if err != nil {
 		return nil, fmt.Errorf("compose scope: %w", err)
 	}
-	payParts := []string{api}
-	for _, k := range sortedKeys(inputs) {
-		payParts = append(payParts, k, inputs[k])
-	}
-	paySig := compose.Sig(payParts...)
+	paySig := payloadSig(api, inputs)
 
 	d := compose.NewDelta(changeID, tenant)
 	for id, sig := range tr.Model.ItemSignatures() {
@@ -263,7 +287,7 @@ func (s *server) executeComposed(w http.ResponseWriter, r *http.Request,
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
-	s.registerPayload(changeID, dep, inputs)
+	s.registerPayload(changeID, dep, inputs, payloadSig(api, inputs))
 	defer s.releasePayload(changeID)
 
 	ctx := obs.WithTenant(obs.WithChangeID(r.Context(), changeID), tenant)
@@ -309,7 +333,10 @@ func (s *server) executeComposed(w http.ResponseWriter, r *http.Request,
 	}
 	status := "composed"
 	for _, res := range run.Results {
-		if !mine[res.Instance] {
+		// A result is this member's when its dispatch served this change —
+		// either the member's own execution or an identical-payload
+		// co-claimant's that stood in for it.
+		if !memberOf(run.Served[servedKey(res.Instance, res.ChangeID)], changeID) {
 			continue
 		}
 		e := execSummary{Instance: res.Instance, Timeslot: res.Timeslot}
@@ -340,8 +367,21 @@ func (s *server) executeComposed(w http.ResponseWriter, r *http.Request,
 		CacheHit    bool                `json:"cache_hit"`
 		Executions  []execSummary       `json:"executions"`
 		Unscheduled []string            `json:"unscheduled,omitempty"`
+		// Unowned surfaces instances the composed schedule planned but
+		// nobody executed (their only claimants canceled mid-window).
+		Unowned []string `json:"unowned,omitempty"`
 	}{status, changeID, out.ComposedID, out.Members, out.Strategy, out.Parallelism,
-		run.Plan.Result.Makespan, run.Plan.CacheHit, execs, unscheduled})
+		run.Plan.Result.Makespan, run.Plan.CacheHit, execs, unscheduled, run.Unowned})
+}
+
+// memberOf reports whether id is in the sorted/unsorted member list.
+func memberOf(members []string, id string) bool {
+	for _, m := range members {
+		if m == id {
+			return true
+		}
+	}
+	return false
 }
 
 // composeSolve is the composer's Solve callback, run once per sealed
@@ -380,20 +420,32 @@ func (s *server) composeSolve(ctx context.Context, composed *compose.Delta, memb
 	}
 
 	var changes []orchestrator.ScheduledChange
-	deps := map[string]*workflow.Deployment{}
+	deps := map[string]*workflow.Deployment{} // dispatching change id -> deployment
+	servedBy := map[string][]string{}
+	var unowned []string
 	for _, inst := range instances {
 		slot, ok := served.Result.Assignment[inst]
 		if !ok {
 			continue
 		}
-		// The first claiming member with a live payload executes the
-		// instance; co-claiming members submitted the identical mutation,
-		// so one execution serves them all.
+		// Each distinct payload among the instance's claiming members
+		// dispatches once: co-claimants whose payloads are identical —
+		// the only co-claim node and subtree granularity admit — share
+		// that one execution, while attribute-granularity members who
+		// validly co-claim the node with different deployments or inputs
+		// each execute their own.
+		bySig := map[uint64]string{} // payload sig -> dispatching change id
 		for _, ch := range owners[inst] {
 			pay := s.payload(ch)
 			if pay == nil {
 				continue
 			}
+			if exec, ok := bySig[pay.sig]; ok {
+				k := servedKey(inst, exec)
+				servedBy[k] = append(servedBy[k], ch)
+				continue
+			}
+			bySig[pay.sig] = ch
 			// The schedule decides the instance; a stray "instance" input
 			// must not override the dispatcher's per-change injection.
 			inputs := map[string]string{}
@@ -405,10 +457,17 @@ func (s *server) composeSolve(ctx context.Context, composed *compose.Delta, memb
 			changes = append(changes, orchestrator.ScheduledChange{
 				Instance: inst, Timeslot: slot, Inputs: inputs, ChangeID: ch,
 			})
-			deps[inst] = pay.dep
-			break
+			deps[ch] = pay.dep
+			servedBy[servedKey(inst, ch)] = []string{ch}
+		}
+		if len(bySig) == 0 {
+			// Planned but unexecutable: every claiming member's payload was
+			// released (submitter canceled after the generation sealed).
+			// Surfaced in composedRun.Unowned rather than silently skipped.
+			unowned = append(unowned, inst)
 		}
 	}
+	sort.Strings(unowned)
 	conc := 1
 	switch s.composer.Strategy().Parallelism() {
 	case compose.Full:
@@ -421,7 +480,7 @@ func (s *server) composeSolve(ctx context.Context, composed *compose.Delta, memb
 	}
 	disp := orchestrator.NewDispatcher(s.f.Engine, conc)
 	results := disp.Run(ctx, func(c orchestrator.ScheduledChange) (*workflow.Deployment, error) {
-		return deps[c.Instance], nil
+		return deps[c.ChangeID], nil
 	}, changes)
-	return &composedRun{Plan: served, Owners: owners, Results: results}, nil
+	return &composedRun{Plan: served, Owners: owners, Served: servedBy, Unowned: unowned, Results: results}, nil
 }

@@ -306,6 +306,13 @@ func TestComposeAttributeGranularity(t *testing.T) {
 	if a.ComposedID != b.ComposedID || a.Parallelism != "none" {
 		t.Fatalf("attribute-disjoint changes did not merge: %+v / %+v", a, b)
 	}
+	// Identical payloads (same api + inputs): the one execution serves both
+	// members, and each sees it on its own response.
+	for _, m := range []composedResp{a, b} {
+		if len(m.Executions) != 1 || m.Executions[0].Status != "success" {
+			t.Fatalf("member %s executions = %+v", m.ChangeID, m.Executions)
+		}
+	}
 
 	rc, rd := submitPair(t, s, srv.URL,
 		submit("chg-at-c", map[string]string{"cfg_mtu": "1400"}),
@@ -330,6 +337,56 @@ func TestComposeAttributeGranularity(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("no attribute collision naming cfg_mtu: %+v", c.Diagnosis.Collisions)
+	}
+}
+
+// TestComposeAttributeDistinctPayloads asserts that when two changes
+// validly co-claim one node under the attribute strategy with *different*
+// payloads (different workflow inputs), each member's own deployment and
+// inputs execute — one dispatch per distinct payload, not one per node —
+// and each member's timeline carries its own execution.
+func TestComposeAttributeDistinctPayloads(t *testing.T) {
+	s, srv := testServerCompose(t, composeSettings{
+		Strategy: "attribute", Window: 250 * time.Millisecond,
+	})
+	api := deployWorkflow(t, srv.URL, "software-upgrade", "vCE")
+
+	// Unique ids keep the process-global journal from a previous run.
+	suffix := strconv.FormatInt(time.Now().UnixNano(), 36)
+	idA, idB := "chg-ap-a-"+suffix, "chg-ap-b-"+suffix
+	submit := func(changeID, version string, attrs map[string]string) func() *http.Response {
+		return func() *http.Response {
+			return composePost(t, srv.URL, changeID, "team-"+changeID, map[string]any{
+				"api":    api,
+				"inputs": map[string]string{"sw_version": version, "prior_version": "v1"},
+				"compose": map[string]any{
+					"scope": []string{"vce-000"},
+					"attrs": map[string]map[string]string{"vce-000": attrs},
+				},
+			})
+		}
+	}
+	ra, rb := submitPair(t, s, srv.URL,
+		submit(idA, "v7", map[string]string{"cfg_dns": "10.0.0.1"}),
+		submit(idB, "v8", map[string]string{"cfg_mtu": "1400"}))
+	a, b := decodeComposed(t, ra), decodeComposed(t, rb)
+	if a.ComposedID != b.ComposedID {
+		t.Fatalf("attribute-disjoint changes did not merge: %q vs %q", a.ComposedID, b.ComposedID)
+	}
+	for _, m := range []composedResp{a, b} {
+		if m.Status != "composed" || len(m.Executions) != 1 || m.Executions[0].Status != "success" {
+			t.Fatalf("member %s = %+v", m.ChangeID, m)
+		}
+	}
+	// Distinct payloads mean each member ran its own workflow: both
+	// timelines must carry their own wf.start, not just the first's.
+	for _, id := range []string{idA, idB} {
+		started := events.Default.Query(events.Filter{
+			ChangeID: id, Types: []events.Type{events.TypeWfStart},
+		})
+		if len(started) == 0 {
+			t.Fatalf("member %s has no wf.start on its timeline — its payload never executed", id)
+		}
 	}
 }
 

@@ -133,17 +133,17 @@ func main() {
 			Strategy: strategy,
 			Window:   200 * time.Millisecond,
 			Solve: func(ctx context.Context, composed *compose.Delta, members []*compose.Delta) (any, error) {
-				owner := map[string]string{}
+				owners := map[string][]string{}
 				for _, m := range members {
 					for _, op := range m.Ops {
 						id := op.Path[len(op.Path)-1]
-						if _, claimed := owner[id]; !claimed {
-							owner[id] = m.ChangeID
+						if list := owners[id]; len(list) == 0 || list[len(list)-1] != m.ChangeID {
+							owners[id] = append(list, m.ChangeID)
 						}
 					}
 				}
-				ids := make([]string, 0, len(owner))
-				for id := range owner {
+				ids := make([]string, 0, len(owners))
+				for id := range owners {
 					ids = append(ids, id)
 				}
 				sort.Strings(ids)
@@ -152,15 +152,27 @@ func main() {
 				if err != nil {
 					return nil, err
 				}
+				// Dispatch per distinct payload, the same rule cornetd
+				// applies: co-claimants with identical inputs share one
+				// execution; attribute-granularity members whose payloads
+				// differ each run their own, serially.
 				var changes []orchestrator.ScheduledChange
 				for _, id := range ids {
-					mu.Lock()
-					inputs := payloads[owner[id]]
-					mu.Unlock()
-					changes = append(changes, orchestrator.ScheduledChange{
-						Instance: id, Timeslot: res.Assignment[id],
-						Inputs: inputs, ChangeID: owner[id],
-					})
+					seen := map[string]bool{}
+					for _, ch := range owners[id] {
+						mu.Lock()
+						inputs := payloads[ch]
+						mu.Unlock()
+						key := fmt.Sprint(inputs)
+						if seen[key] {
+							continue
+						}
+						seen[key] = true
+						changes = append(changes, orchestrator.ScheduledChange{
+							Instance: id, Timeslot: res.Assignment[id],
+							Inputs: inputs, ChangeID: ch,
+						})
+					}
 				}
 				conc := 1
 				if strategy.Parallelism() == compose.Full {
@@ -178,7 +190,7 @@ func main() {
 						status = r.Err.Error()
 					}
 					fmt.Printf("    window %d  %-8s owner %-12s %s\n",
-						r.Timeslot, r.Instance, owner[r.Instance], status)
+						r.Timeslot, r.Instance, r.ChangeID, status)
 				}
 				return res, nil
 			},

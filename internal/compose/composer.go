@@ -88,15 +88,19 @@ type Outcome struct {
 }
 
 // generation is one composition window: the deltas gathered so far and
-// the completion broadcast every member waits on.
+// the completion broadcast every member waits on. waiters counts the
+// Submit calls currently waiting per member change id (idempotent
+// resubmissions share one delta but wait separately), so a canceled
+// member can withdraw its delta without evicting a still-waiting twin.
 type generation struct {
-	id     string
-	deltas []*Delta
-	timer  *time.Timer
-	sealed bool
-	done   chan struct{}
-	out    *Outcome
-	err    error
+	id      string
+	deltas  []*Delta
+	waiters map[string]int
+	timer   *time.Timer
+	sealed  bool
+	done    chan struct{}
+	out     *Outcome
+	err     error
 }
 
 // Composer batches concurrently submitted deltas into composed changes.
@@ -181,6 +185,11 @@ func (c *Composer) Submit(ctx context.Context, d *Delta, mode ConflictMode) (*Ou
 				}
 				return g.out, nil
 			case <-ctx.Done():
+				// The caller is gone and will release whatever resources
+				// (payloads) the solve would have needed, so take the delta
+				// back out of the still-open generation rather than letting
+				// an orphaned member be planned but never executed.
+				c.withdraw(g, d.ChangeID)
 				return nil, ctx.Err()
 			}
 		}
@@ -209,7 +218,8 @@ func (c *Composer) join(d *Delta) (*generation, *Diagnosis, error) {
 		return nil, nil, ErrStopped
 	}
 	if c.cur == nil {
-		g := &generation{id: c.cfg.NewID(), done: make(chan struct{})}
+		g := &generation{id: c.cfg.NewID(), done: make(chan struct{}),
+			waiters: map[string]int{d.ChangeID: 1}}
 		g.deltas = []*Delta{d}
 		g.timer = time.AfterFunc(c.cfg.Window, func() { c.seal(g) })
 		c.cur = g
@@ -222,6 +232,7 @@ func (c *Composer) join(d *Delta) (*generation, *Diagnosis, error) {
 			continue
 		}
 		if m.Equal(d) { // idempotent resubmission
+			g.waiters[d.ChangeID]++
 			c.mu.Unlock()
 			return g, nil, nil
 		}
@@ -234,6 +245,7 @@ func (c *Composer) join(d *Delta) (*generation, *Diagnosis, error) {
 		return g, diag, nil
 	}
 	g.deltas = cand
+	g.waiters[d.ChangeID]++
 	sealNow := c.cfg.MaxBatch > 0 && len(g.deltas) >= c.cfg.MaxBatch
 	c.mu.Unlock()
 	if sealNow {
@@ -242,8 +254,32 @@ func (c *Composer) join(d *Delta) (*generation, *Diagnosis, error) {
 	return g, nil, nil
 }
 
+// withdraw removes a canceled member's delta from its generation while
+// the window is still open, so a sealed composition only contains changes
+// whose submitters are still waiting for the outcome. Once the generation
+// is sealed the membership is frozen (the merge is already underway) and
+// withdraw is a no-op. A member with other Submit calls still waiting
+// (idempotent resubmission) keeps its delta until the last waiter leaves.
+func (c *Composer) withdraw(g *generation, changeID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g.sealed {
+		return
+	}
+	if g.waiters[changeID]--; g.waiters[changeID] > 0 {
+		return
+	}
+	delete(g.waiters, changeID)
+	for i, m := range g.deltas {
+		if m.ChangeID == changeID {
+			g.deltas = append(g.deltas[:i], g.deltas[i+1:]...)
+			break
+		}
+	}
+}
+
 // seal closes a generation exactly once: it composes the member deltas,
-// journals the merge decision, runs Solve, and broadcasts the shared
+// runs Solve, journals the merge decision, and broadcasts the shared
 // outcome by closing g.done. Idempotent — the window timer, a MaxBatch
 // submitter, and Stop may race to call it.
 func (c *Composer) seal(g *generation) {
@@ -263,6 +299,11 @@ func (c *Composer) seal(g *generation) {
 	c.mu.Unlock()
 
 	defer close(g.done)
+	if len(members) == 0 {
+		// Every member withdrew (canceled) before the window closed;
+		// there is nothing to merge and nobody waiting.
+		return
+	}
 	composed, err := c.cfg.Strategy.Compose(g.id, members)
 	if err != nil {
 		// Unreachable by construction (members validated on join), but a
@@ -280,7 +321,6 @@ func (c *Composer) seal(g *generation) {
 		out.Members = append(out.Members, m.ChangeID)
 	}
 	sort.Strings(out.Members)
-	publishMerged(c.cfg.Strategy, composed, members, out)
 	if c.cfg.Solve != nil {
 		ctx := obs.WithChangeID(context.Background(), g.id)
 		if composed.Tenant != "" {
@@ -288,9 +328,13 @@ func (c *Composer) seal(g *generation) {
 		}
 		out.Result, g.err = c.cfg.Solve(ctx, composed, members)
 		if g.err != nil {
+			// The generation produced no schedule: journal the failure, not
+			// a merge — timelines and metrics must reflect the real outcome.
+			publishSolveFailed(c.cfg.Strategy, composed, members, out, g.err)
 			return
 		}
 	}
+	publishMerged(c.cfg.Strategy, composed, members, out)
 	g.out = out
 }
 

@@ -3,10 +3,13 @@ package compose
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"cornet/internal/obs/events"
 )
 
 // solveRecorder is a Config.Solve that records every sealed generation.
@@ -247,13 +250,71 @@ func TestComposerMaxBatchSeals(t *testing.T) {
 }
 
 // TestComposerSolveErrorPropagates asserts a failing Solve reaches every
-// member.
+// member and is journaled as compose.failed — never as compose.merged,
+// which is reserved for generations that actually produced a schedule.
 func TestComposerSolveErrorPropagates(t *testing.T) {
 	boom := errors.New("solve failed")
 	c := testComposer(t, Config{Window: 20 * time.Millisecond,
 		Solve: func(context.Context, *Delta, []*Delta) (any, error) { return nil, boom }})
-	if _, err := c.Submit(context.Background(), node("chg-a", "t1", Path{"east", "x"}), Reject); !errors.Is(err, boom) {
+	// The event journal is process-global; a unique id isolates this run.
+	id := "chg-sep-" + strconv.FormatInt(time.Now().UnixNano(), 36)
+	if _, err := c.Submit(context.Background(), node(id, "t1", Path{"east", "x"}), Reject); !errors.Is(err, boom) {
 		t.Fatalf("Submit returned %v, want the solve error", err)
+	}
+	if got := events.Default.Query(events.Filter{
+		ChangeID: id, Types: []events.Type{events.TypeComposeMerged},
+	}); len(got) != 0 {
+		t.Fatalf("failed solve journaled %d compose.merged events, want 0", len(got))
+	}
+	failed := events.Default.Query(events.Filter{
+		ChangeID: id, Types: []events.Type{events.TypeComposeFailed},
+	})
+	if len(failed) != 1 {
+		t.Fatalf("failed solve journaled %d compose.failed events, want 1", len(failed))
+	}
+	if failed[0].Fields["error"] != boom.Error() {
+		t.Fatalf("compose.failed error field = %v", failed[0].Fields["error"])
+	}
+}
+
+// TestComposerWithdrawOnCancel asserts a member whose context is canceled
+// while its generation is still open withdraws its delta: a change that
+// would have conflicted with it composes cleanly afterwards, and the
+// canceled change never reaches a solve.
+func TestComposerWithdrawOnCancel(t *testing.T) {
+	rec := &solveRecorder{}
+	c := testComposer(t, Config{Window: 150 * time.Millisecond, Solve: rec.solve})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Submit(ctx, node("chg-wd-a", "t1", Path{"east", "x"}), Reject)
+		done <- err
+	}()
+	waitForOpen(t, c)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Submit returned %v, want context.Canceled", err)
+	}
+
+	// chg-wd-a claimed east/x; a claim on the whole east subtree would
+	// conflict with it under the subtree strategy had it not withdrawn.
+	out, err := c.Submit(context.Background(), node("chg-wd-b", "t2", Path{"east"}), Reject)
+	if err != nil {
+		t.Fatalf("post-withdrawal conflicting submit failed: %v", err)
+	}
+	if len(out.Members) != 1 || out.Members[0] != "chg-wd-b" {
+		t.Fatalf("members = %v, want [chg-wd-b]", out.Members)
+	}
+	for _, call := range rec.calls {
+		for _, id := range call {
+			if id == "chg-wd-a" {
+				t.Fatalf("withdrawn change reached a solve: %v", rec.calls)
+			}
+		}
+	}
+	if len(rec.calls) != 1 {
+		t.Fatalf("solver ran %d times, want 1 (empty generations must not solve)", len(rec.calls))
 	}
 }
 

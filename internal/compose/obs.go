@@ -14,13 +14,16 @@ var (
 		"Conflicting submissions queued behind another change, by strategy.", "strategy")
 	metricRejected = obs.Default.CounterVec("cornet_compose_rejected_total",
 		"Conflicting submissions rejected with a diagnosis, by strategy.", "strategy")
+	metricFailed = obs.Default.CounterVec("cornet_compose_failed_total",
+		"Sealed generations whose solve failed (no schedule produced), by strategy.", "strategy")
 )
 
-// publishMerged journals a sealed generation's merge decision: one
-// compose.merged event on the composed change's timeline listing the
-// members, plus one on each member's timeline linking back to the
-// composed id — so both directions of the composition are reconstructable
-// from GET /api/changes/{id}/timeline.
+// publishMerged journals a sealed generation's successful merge — it runs
+// only after Solve has produced the composed schedule, so a compose.merged
+// event always corresponds to a real outcome: one event on the composed
+// change's timeline listing the members, plus one on each member's
+// timeline linking back to the composed id — so both directions of the
+// composition are reconstructable from GET /api/changes/{id}/timeline.
 func publishMerged(s Strategy, composed *Delta, members []*Delta, out *Outcome) {
 	metricMerged.With(s.Name()).Add(float64(len(members)))
 	base := map[string]any{
@@ -38,6 +41,30 @@ func publishMerged(s Strategy, composed *Delta, members []*Delta, out *Outcome) 
 		events.Default.Publish(events.Event{
 			Type: events.TypeComposeMerged, Source: "compose",
 			ChangeID: m.ChangeID, Tenant: m.Tenant, Fields: base,
+		})
+	}
+}
+
+// publishSolveFailed journals a sealed generation whose solve errored: a
+// compose.failed event on the composed change's timeline and on every
+// member's, carrying the error — the counterpart of publishMerged for the
+// generation that produced no schedule.
+func publishSolveFailed(s Strategy, composed *Delta, members []*Delta, out *Outcome, err error) {
+	metricFailed.With(s.Name()).Inc()
+	fields := map[string]any{
+		"composed": out.ComposedID,
+		"members":  out.Members,
+		"strategy": out.Strategy,
+		"error":    err.Error(),
+	}
+	events.Default.Publish(events.Event{
+		Type: events.TypeComposeFailed, Source: "compose",
+		ChangeID: out.ComposedID, Tenant: composed.Tenant, Fields: fields,
+	})
+	for _, m := range members {
+		events.Default.Publish(events.Event{
+			Type: events.TypeComposeFailed, Source: "compose",
+			ChangeID: m.ChangeID, Tenant: m.Tenant, Fields: fields,
 		})
 	}
 }

@@ -200,10 +200,16 @@ type pathOps struct {
 	perChange map[string][]Op
 }
 
-// deltaIndex groups all deltas' ops by path for conflict detection.
+// deltaIndex groups all deltas' ops by path for conflict detection. keys
+// is sorted by component-wise Path.compare — NOT lexicographically on the
+// joined string — so an ancestor is immediately followed by all of its
+// descendants. Joined-string order would break that invariant: a sibling
+// whose name contains a byte below '/' (e.g. "east-2") sorts between
+// "east" and "east/x" and would pop the ancestor off the scan stack
+// before its descendant is visited.
 type deltaIndex struct {
 	byPath map[string]*pathOps
-	keys   []string // sorted path keys
+	keys   []string // path keys in component-wise path order
 }
 
 // indexDeltas builds the path index over the deltas' canonical ops.
@@ -222,7 +228,9 @@ func indexDeltas(deltas []*Delta) *deltaIndex {
 			pn.perChange[d.ChangeID] = append(pn.perChange[d.ChangeID], op)
 		}
 	}
-	sort.Strings(idx.keys)
+	sort.Slice(idx.keys, func(i, j int) bool {
+		return idx.byPath[idx.keys[i]].path.compare(idx.byPath[idx.keys[j]].path) < 0
+	})
 	return idx
 }
 

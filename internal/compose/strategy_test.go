@@ -41,6 +41,15 @@ func TestStrategyTable(t *testing.T) {
 			[]*Delta{node("a", "t1", east), node("b", "t2", east)}, CollisionNode},
 		{"subtree/same-node-identical", SubtreeStrategy{},
 			[]*Delta{shared("a"), shared("b")}, ""},
+		// Regression: "east-2" sorts between "east" and "east/x" when path
+		// keys are compared as '/'-joined strings ('-' < '/'), which used
+		// to pop the ancestor off the scan stack before its descendant was
+		// visited and let the east/east/x overlap compose.
+		{"subtree/ancestor-with-dash-sibling-between", SubtreeStrategy{},
+			[]*Delta{node("a", "t1", eastTree), node("b", "t2", Path{"east", "x"}),
+				node("c", "t3", Path{"east-2"})}, CollisionSubtree},
+		{"subtree/dash-sibling-disjoint", SubtreeStrategy{},
+			[]*Delta{node("a", "t1", eastTree), node("c", "t3", Path{"east-2"})}, ""},
 		{"node/same-subtree-different-nodes", NodeStrategy{},
 			[]*Delta{node("a", "t1", east), node("b", "t2", east2)}, ""},
 		{"node/same-node-differs", NodeStrategy{},

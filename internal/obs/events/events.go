@@ -51,6 +51,7 @@ const (
 	TypeComposeMerged   Type = "compose.merged"
 	TypeComposeQueued   Type = "compose.queued"
 	TypeComposeRejected Type = "compose.rejected"
+	TypeComposeFailed   Type = "compose.failed"
 
 	// Verifier ("verifier"): go/no-go verification reports.
 	TypeVerifyReport Type = "verify.report"

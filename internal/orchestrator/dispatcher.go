@@ -52,6 +52,11 @@ func NewDispatcher(eng *Engine, concurrency int) *Dispatcher {
 type Result struct {
 	Instance string
 	Timeslot int
+	// ChangeID echoes the scheduled change's id ("" when the change was
+	// dispatched without one), so callers dispatching several changes
+	// against one instance — composed attribute-granularity schedules —
+	// can attribute each result to its owner.
+	ChangeID string
 	Exec     *Execution
 	Err      error
 }
@@ -82,7 +87,12 @@ func (d *Dispatcher) Run(ctx context.Context, dep DeploymentResolver, changes []
 			break
 		}
 		batch := bySlot[slot]
-		sort.Slice(batch, func(i, j int) bool { return batch[i].Instance < batch[j].Instance })
+		sort.Slice(batch, func(i, j int) bool {
+			if batch[i].Instance != batch[j].Instance {
+				return batch[i].Instance < batch[j].Instance
+			}
+			return batch[i].ChangeID < batch[j].ChangeID
+		})
 		if d.OnSlotStart != nil {
 			d.OnSlotStart(slot, len(batch))
 		}
@@ -99,7 +109,7 @@ func (d *Dispatcher) Run(ctx context.Context, dep DeploymentResolver, changes []
 				}
 				deployment, err := dep(c)
 				var res Result
-				res.Instance, res.Timeslot = c.Instance, c.Timeslot
+				res.Instance, res.Timeslot, res.ChangeID = c.Instance, c.Timeslot, c.ChangeID
 				if err != nil {
 					res.Err = fmt.Errorf("dispatcher: resolve deployment for %s: %w", c.Instance, err)
 					metricDispatched.With("resolve-error").Inc()
@@ -132,7 +142,10 @@ func (d *Dispatcher) Run(ctx context.Context, dep DeploymentResolver, changes []
 		if results[i].Timeslot != results[j].Timeslot {
 			return results[i].Timeslot < results[j].Timeslot
 		}
-		return results[i].Instance < results[j].Instance
+		if results[i].Instance != results[j].Instance {
+			return results[i].Instance < results[j].Instance
+		}
+		return results[i].ChangeID < results[j].ChangeID
 	})
 	return results
 }
